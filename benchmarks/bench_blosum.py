@@ -1,0 +1,81 @@
+"""Section 5.1, BLOSUM50 experiment.
+
+The paper mutates the protein database according to BLOSUM50 and
+reports that the match model keeps both accuracy and completeness above
+99% while the support model drops to 70% / 50%.  Concentrated,
+biologically structured noise is the regime where the compatibility
+matrix shines: a mutation lands on a *compatible* partner (N→D, K→R,
+V→I, ...) whose matrix entry retains most of the credit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CompatibilityMatrix, LevelwiseMiner
+from repro.datagen.blosum import blosum50_channel, blosum50_compatibility
+from repro.datagen.noise import corrupt_database
+from repro.eval.harness import ExperimentTable
+from repro.eval.metrics import accuracy, completeness
+
+from _workloads import BENCH_CONSTRAINTS, ROBUSTNESS_THRESHOLD, run_once
+
+#: High enough that exact matching loses the long planted motifs; a
+#: low softmax temperature concentrates mutations on the biologically
+#: compatible pairs (the paper's clinical-mutation regime), which is
+#: precisely where the compatibility matrix restores the lost credit.
+MUTATION_RATE = 0.5
+TEMPERATURE = 1.0
+
+
+def _mine(db, matrix):
+    db.reset_scan_count()
+    miner = LevelwiseMiner(
+        matrix, ROBUSTNESS_THRESHOLD, constraints=BENCH_CONSTRAINTS
+    )
+    return miner.mine(db).patterns
+
+
+def test_blosum50_robustness(benchmark, protein_db, scale):
+    std, _motifs, m = protein_db
+    assert m == 20
+
+    def experiment():
+        table = ExperimentTable(
+            "Section 5.1: quality under BLOSUM50 mutations "
+            f"(mutation rate {MUTATION_RATE})",
+            "model",
+        )
+        channel = blosum50_channel(MUTATION_RATE, TEMPERATURE)
+        matrix = blosum50_compatibility(MUTATION_RATE, TEMPERATURE)
+        identity = CompatibilityMatrix.identity(20)
+        support_ref = _mine(std, identity)
+        match_ref = _mine(std, matrix)
+        sup_acc, sup_comp, mat_acc, mat_comp = [], [], [], []
+        for seed in scale.noise_seeds:
+            rng = np.random.default_rng(seed)
+            test = corrupt_database(std, channel, rng)
+            support_found = _mine(test, identity)
+            match_found = _mine(test, matrix)
+            sup_acc.append(accuracy(support_found, support_ref))
+            sup_comp.append(completeness(support_found, support_ref))
+            mat_acc.append(accuracy(match_found, match_ref))
+            mat_comp.append(completeness(match_found, match_ref))
+        table.add("support", "accuracy", float(np.mean(sup_acc)))
+        table.add("support", "completeness", float(np.mean(sup_comp)))
+        table.add("match", "accuracy", float(np.mean(mat_acc)))
+        table.add("match", "completeness", float(np.mean(mat_comp)))
+        table.print()
+        return table
+
+    table = run_once(benchmark, experiment)
+
+    # Shape: match dominates support on both axes under structured noise
+    # (paper: >99% vs 70%/50%).
+    assert table.cells[("match", "accuracy")] >= (
+        table.cells[("support", "accuracy")] - 0.05
+    )
+    assert table.cells[("match", "completeness")] > (
+        table.cells[("support", "completeness")]
+    )
+    assert table.cells[("match", "completeness")] > 0.75

@@ -1,0 +1,116 @@
+"""Figure 7: robustness of the match model vs the support model.
+
+Panels (a)/(b): accuracy and completeness of both models as the noise
+level α grows (0 .. 0.6).  Panels (c)/(d): accuracy and completeness by
+number of non-eternal symbols at a fixed α = 0.1.
+
+Protocol (Section 5.1): a *standard* database with planted motifs; per
+noise level a *test* database is derived by flipping each symbol with
+probability α; each model mines both databases with the same threshold
+and its own measure (identity matrix = support; the α-matched
+compatibility matrix = match); accuracy and completeness compare the
+test result against the standard result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+import pytest
+
+from repro import CompatibilityMatrix, LevelwiseMiner, Pattern
+from repro.datagen.noise import corrupt_uniform
+from repro.eval.harness import ExperimentTable
+from repro.eval.metrics import accuracy, completeness
+
+from _workloads import BENCH_CONSTRAINTS, ROBUSTNESS_THRESHOLD, run_once
+
+ALPHAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def _mine(db, matrix) -> Set[Pattern]:
+    db.reset_scan_count()
+    miner = LevelwiseMiner(
+        matrix, ROBUSTNESS_THRESHOLD, constraints=BENCH_CONSTRAINTS
+    )
+    return miner.mine(db).patterns
+
+
+def _per_weight(found: Set[Pattern], reference: Set[Pattern], weight: int):
+    ref_w = {p for p in reference if p.weight == weight}
+    found_w = {p for p in found if p.weight == weight}
+    return accuracy(found_w, ref_w), completeness(found_w, ref_w)
+
+
+def test_fig7_robustness(benchmark, protein_db, scale):
+    std, _motifs, m = protein_db
+
+    def experiment():
+        table_ab = ExperimentTable(
+            "Figure 7(a)(b): quality vs noise level alpha", "alpha"
+        )
+        table_cd = ExperimentTable(
+            "Figure 7(c)(d): quality vs pattern weight (alpha = 0.1)",
+            "weight",
+        )
+        support_ref = _mine(std, CompatibilityMatrix.identity(m))
+        weight_slices: Dict[int, Dict[str, float]] = {}
+        for alpha in ALPHAS:
+            sup_acc, sup_comp, mat_acc, mat_comp = [], [], [], []
+            for seed in scale.noise_seeds:
+                rng = np.random.default_rng(seed)
+                if alpha == 0.0:
+                    test = std
+                    matrix = CompatibilityMatrix.identity(m)
+                else:
+                    test = corrupt_uniform(std, m, alpha, rng)
+                    matrix = CompatibilityMatrix.uniform_noise(m, alpha)
+                match_ref = _mine(std, matrix)
+                support_found = _mine(test, CompatibilityMatrix.identity(m))
+                match_found = _mine(test, matrix)
+                sup_acc.append(accuracy(support_found, support_ref))
+                sup_comp.append(completeness(support_found, support_ref))
+                mat_acc.append(accuracy(match_found, match_ref))
+                mat_comp.append(completeness(match_found, match_ref))
+                if alpha == 0.1 and seed == scale.noise_seeds[0]:
+                    for weight in range(1, 8):
+                        s_a, s_c = _per_weight(
+                            support_found, support_ref, weight
+                        )
+                        m_a, m_c = _per_weight(match_found, match_ref, weight)
+                        weight_slices[weight] = {
+                            "support acc": s_a,
+                            "support comp": s_c,
+                            "match acc": m_a,
+                            "match comp": m_c,
+                        }
+            table_ab.add(alpha, "support acc", float(np.mean(sup_acc)))
+            table_ab.add(alpha, "support comp", float(np.mean(sup_comp)))
+            table_ab.add(alpha, "match acc", float(np.mean(mat_acc)))
+            table_ab.add(alpha, "match comp", float(np.mean(mat_comp)))
+        for weight, row in sorted(weight_slices.items()):
+            for series, value in row.items():
+                table_cd.add(weight, series, value)
+        table_ab.print()
+        table_cd.print()
+        return table_ab
+
+    table = run_once(benchmark, experiment)
+
+    # Shape assertions (the paper's qualitative findings):
+    # 1. the support model's completeness decays monotonically-ish in alpha
+    sup_comp = table.column("support comp")
+    assert sup_comp[0] == pytest.approx(1.0)
+    assert sup_comp[-1] < 0.7, "support should lose patterns at alpha=0.6"
+    # 2. the match model stays usefully accurate throughout (at our
+    #    scale a transition dip appears mid-sweep where reference
+    #    patterns cross the threshold band; see EXPERIMENTS.md).
+    mat_acc = [v for v in table.column("match acc") if v is not None]
+    assert min(mat_acc) > 0.55
+    assert float(np.mean(mat_acc)) > 0.7
+    # 3. at high noise the match model is far more complete than
+    #    support (paper: 95% vs 33% at alpha = 0.6).
+    mat_comp = table.column("match comp")
+    assert np.mean(mat_comp[-2:]) > np.mean(sup_comp[-2:])
+    assert mat_comp[-1] > 0.8

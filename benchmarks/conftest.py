@@ -1,0 +1,31 @@
+"""Benchmark fixtures.
+
+Every benchmark module regenerates one table or figure of the paper\'s
+Section 5 on a laptop-scale workload (the paper used 600K protein
+sequences; we default to hundreds).  Scale up with::
+
+    NOISYMINE_BENCH_SCALE=large pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _workloads import build_standard_database, current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def standard_db(scale):
+    """Uniform-composition standard database + ground truth."""
+    return build_standard_database(scale, protein=False)
+
+
+@pytest.fixture(scope="session")
+def protein_db(scale):
+    """Protein-composition standard database + ground truth."""
+    return build_standard_database(scale, protein=True)

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""The headline act: mining a LONG pattern in a few database scans.
+
+This example stages the exact situation the paper's algorithm was built
+for: a long conserved pattern (16 symbols) hidden in a disk-resident
+database, a memory budget far too small to verify every ambiguous
+pattern at once, and a sample that leaves a deep band of ambiguity
+between the FQT and INFQT borders.
+
+It then finalises the border four ways and prints each method's scan
+count:
+
+  * border collapsing (the paper's Phase 3, halfway-layer probing),
+  * sampling + level-wise verification (Toivonen-style),
+  * Max-Miner (look-ahead, no sampling),
+  * plain level-wise Apriori.
+
+Expected outcome (the paper's Figure 14(b)): border collapsing in a
+handful of scans, everything else in roughly one scan per lattice
+level.
+
+Run:  python examples/long_patterns.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro import (
+    BorderCollapsingMiner,
+    CompatibilityMatrix,
+    FileSequenceDatabase,
+    LevelwiseMiner,
+    MaxMiner,
+    Pattern,
+    PatternConstraints,
+    ToivonenMiner,
+)
+from repro.datagen.motifs import Motif
+from repro.datagen.noise import corrupt_uniform
+from repro.datagen.synthetic import generate_database
+
+CHAIN_WEIGHT = 16
+ALPHABET = 40  # large alphabet keeps chance patterns decisively rare
+THRESHOLD = 0.2
+MEMORY_CAPACITY = 8   # pattern counters per database pass
+SAMPLE_SIZE = 150
+DELTA = 0.01
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    long_motif = Motif(
+        Pattern(list(range(1, CHAIN_WEIGHT + 1))),
+        frequency=0.55,
+    )
+    standard = generate_database(
+        600, 40, ALPHABET, [long_motif], rng=rng
+    )
+    noisy = corrupt_uniform(standard, ALPHABET, 0.02, rng)
+    matrix = CompatibilityMatrix.uniform_noise(ALPHABET, 0.02)
+    constraints = PatternConstraints(
+        max_weight=CHAIN_WEIGHT, max_span=CHAIN_WEIGHT, max_gap=0
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "sequences.txt")
+        noisy.save(path)
+        print(
+            f"database: 600 sequences, planted pattern of "
+            f"{CHAIN_WEIGHT} symbols, memory budget "
+            f"{MEMORY_CAPACITY} counters/scan\n"
+        )
+
+        runs = []
+        for name, factory in [
+            (
+                "border collapsing",
+                lambda db: BorderCollapsingMiner(
+                    matrix, THRESHOLD, sample_size=SAMPLE_SIZE,
+                    delta=DELTA, constraints=constraints,
+                    memory_capacity=MEMORY_CAPACITY,
+                    rng=np.random.default_rng(7),
+                ),
+            ),
+            (
+                "sampling + level-wise",
+                lambda db: ToivonenMiner(
+                    matrix, THRESHOLD, sample_size=SAMPLE_SIZE,
+                    delta=DELTA, constraints=constraints,
+                    memory_capacity=MEMORY_CAPACITY,
+                    rng=np.random.default_rng(7),
+                ),
+            ),
+            (
+                "Max-Miner",
+                lambda db: MaxMiner(
+                    matrix, THRESHOLD, constraints=constraints,
+                    memory_capacity=MEMORY_CAPACITY,
+                    collect_exact_matches=False,
+                ),
+            ),
+            (
+                "level-wise Apriori",
+                lambda db: LevelwiseMiner(
+                    matrix, THRESHOLD, constraints=constraints,
+                    memory_capacity=MEMORY_CAPACITY,
+                ),
+            ),
+        ]:
+            database = FileSequenceDatabase(path)
+            result = factory(database).mine(database)
+            found = result.border.covers(long_motif.pattern)
+            runs.append((name, result.scans, found, result.elapsed_seconds))
+
+        print(f"{'algorithm':24s} {'scans':>6s} {'found?':>7s} {'time':>8s}")
+        for name, scans, found, seconds in runs:
+            mark = "yes" if found else "NO"
+            print(f"{name:24s} {scans:6d} {mark:>7s} {seconds:7.2f}s")
+
+        best = min(runs, key=lambda r: r[1])
+        print(
+            f"\nborder collapsing located the weight-{CHAIN_WEIGHT} "
+            f"pattern's border in {runs[0][1]} scans; the level-wise "
+            f"finalisation needed {runs[1][1]}."
+        )
+        assert best[0] == "border collapsing"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Protein motif discovery under BLOSUM50 mutations.
+
+The scenario that motivates the paper's introduction: a conserved
+amino-acid motif (here a Zinc-Finger-like gapped signature plus a
+contiguous one) is carried by a family of protein sequences, but point
+mutations — biased towards biochemically similar residues, as described
+by the BLOSUM50 matrix — hide many of its occurrences from exact
+matching.
+
+This example
+  1. synthesises a protein-like database with two planted motifs,
+  2. mutates it through the BLOSUM50-derived channel,
+  3. mines it with the classical support model and with the match model
+     (compatibility matrix = Bayes inverse of the channel), and
+  4. shows that the match model recovers the planted motifs while the
+     support model loses the long one.
+
+Run:  python examples/protein_motifs.py
+"""
+
+import numpy as np
+
+from repro import (
+    BorderCollapsingMiner,
+    Pattern,
+    PatternConstraints,
+    mine_support,
+)
+from repro.datagen.blosum import (
+    amino_acid_alphabet,
+    blosum50_channel,
+    blosum50_compatibility,
+)
+from repro.datagen.motifs import Motif
+from repro.datagen.noise import corrupt_database
+from repro.datagen.synthetic import protein_like_database
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    alphabet = amino_acid_alphabet()
+
+    # Two ground-truth motifs: a contiguous hexamer and a gapped
+    # signature in the spirit of the Zinc-Finger C..C/H..H example.
+    hexamer = Motif(Pattern.parse("A M T K Y Q", alphabet), frequency=0.6)
+    zinc_like = Motif(
+        Pattern.parse("C * * C H * * H", alphabet), frequency=0.5
+    )
+    # Conserved motifs repeat within a family member; plant two copies.
+    standard = protein_like_database(
+        600, 60, motifs=[hexamer, hexamer, zinc_like, zinc_like], rng=rng
+    )
+
+    # Mutate through the BLOSUM50 channel (15% of residues mutate,
+    # biased towards compatible amino acids such as N->D, K->R, V->I).
+    channel = blosum50_channel(mutation_rate=0.15)
+    mutated = corrupt_database(standard, channel, rng)
+    matrix = blosum50_compatibility(mutation_rate=0.15)
+
+    constraints = PatternConstraints(max_weight=6, max_span=8, max_gap=2)
+    # Match values live on a deflated scale: a noisy occurrence of a
+    # weight-6 pattern retains ~E[Q·C]^6 of its support-scale value;
+    # calibrate the match threshold with the known channel.
+    from repro import expected_occurrence_retention
+
+    min_support = 0.3
+    min_match = min_support * expected_occurrence_retention(
+        channel, matrix, weight=6
+    )
+
+    print("mining mutated database with the SUPPORT model...")
+    support_result = mine_support(
+        mutated, 20, min_support, constraints=constraints
+    )
+    mutated.reset_scan_count()
+
+    print("mining mutated database with the MATCH model...")
+    # The demo database fits in memory, so the sample is the whole
+    # database (exact Phase 2); pass a smaller sample_size at scale.
+    miner = BorderCollapsingMiner(
+        matrix, min_match, sample_size=len(mutated),
+        constraints=constraints, rng=rng,
+    )
+    match_result = miner.mine(mutated)
+
+    print()
+    print(f"support model: {support_result.summary()}")
+    print(f"match model:   {match_result.summary()}")
+    print()
+    for motif in (hexamer, zinc_like):
+        text = motif.pattern.to_string(alphabet)
+        in_support = support_result.border.covers(motif.pattern)
+        in_match = match_result.border.covers(motif.pattern)
+        print(f"planted motif {text!r}:")
+        print(f"  recovered by support model: {'yes' if in_support else 'NO'}")
+        print(f"  recovered by match model:   {'yes' if in_match else 'NO'}")
+
+    print()
+    print("heaviest patterns found by the match model:")
+    heavy = sorted(
+        match_result.frequent,
+        key=lambda p: (-p.weight, -match_result.frequent[p]),
+    )[:8]
+    for pattern in heavy:
+        print(
+            f"  {pattern.to_string(alphabet):24s} "
+            f"match = {match_result.frequent[pattern]:.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Performance-analysis scenario: quantised system metrics.
+
+The paper's second motivating application: monitoring attributes
+(latency, CPU load, queue depth, ...) are quantised into categorical
+bins; when the true value sits near a bin boundary, the observed label
+easily lands in the *adjacent* bin.  The compatibility matrix for this
+kind of noise is banded — a bin is only ever confused with its
+neighbours.
+
+This example builds a banded quantisation-noise channel over 8 load
+levels, plants a characteristic incident signature (a rising ramp
+followed by saturation) into a fleet's metric streams, and compares the
+support and match models on recovering it.
+
+Run:  python examples/system_events.py
+"""
+
+import numpy as np
+
+from repro import (
+    Alphabet,
+    BorderCollapsingMiner,
+    Pattern,
+    PatternConstraints,
+    compatibility_from_channel,
+    mine_support,
+)
+from repro.datagen.motifs import Motif
+from repro.datagen.noise import corrupt_database
+from repro.datagen.synthetic import generate_database
+
+N_LEVELS = 8  # quantisation bins L0 (idle) .. L7 (saturated)
+
+
+def banded_channel(n_levels: int, boundary_slip: float) -> np.ndarray:
+    """Quantisation noise: a reading slips to an adjacent bin with
+    probability *boundary_slip* (split between the two neighbours)."""
+    channel = np.zeros((n_levels, n_levels))
+    for level in range(n_levels):
+        neighbours = [
+            l for l in (level - 1, level + 1) if 0 <= l < n_levels
+        ]
+        channel[level, level] = 1.0 - boundary_slip
+        for neighbour in neighbours:
+            channel[level, neighbour] = boundary_slip / len(neighbours)
+    return channel
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    alphabet = Alphabet.numbered(N_LEVELS, prefix="L")
+
+    # Incident signature: load ramps 2 -> 4 -> 6 then saturates at 7 7;
+    # incidents repeat within an affected stream, so plant two copies.
+    signature = Motif(Pattern([2, 4, 6, 7, 7]), frequency=0.5)
+    # Background: mostly low load levels.
+    composition = np.array([0.3, 0.25, 0.18, 0.12, 0.07, 0.04, 0.03, 0.01])
+    standard = generate_database(
+        500, 40, N_LEVELS, [signature, signature], rng=rng,
+        composition=composition,
+    )
+
+    # 30% of readings slip across a quantisation boundary -- enough to
+    # hide the five-step signature from exact matching.
+    channel = banded_channel(N_LEVELS, boundary_slip=0.30)
+    observed = corrupt_database(standard, channel, rng)
+    # The miner's matrix is the Bayes inverse under the background
+    # composition -- exactly what an operator would estimate offline.
+    matrix = compatibility_from_channel(channel, composition / composition.sum())
+
+    constraints = PatternConstraints(max_weight=5, max_span=6, max_gap=1)
+    support_threshold = 0.25
+    # Calibrate the match threshold to the deflated match scale using
+    # the known quantisation channel.
+    from repro import expected_occurrence_retention
+
+    match_threshold = support_threshold * expected_occurrence_retention(
+        channel, matrix, weight=5
+    )
+
+    support_result = mine_support(
+        observed, N_LEVELS, support_threshold, constraints=constraints
+    )
+    observed.reset_scan_count()
+    # Demo database fits in memory -> exact Phase 2 (no sampling band).
+    match_result = BorderCollapsingMiner(
+        matrix, match_threshold, sample_size=len(observed),
+        constraints=constraints, rng=rng,
+    ).mine(observed)
+
+    print(f"support model: {support_result.summary()}")
+    print(f"match model:   {match_result.summary()}")
+    print()
+    text = signature.pattern.to_string(alphabet)
+    print(f"incident signature {text!r}:")
+    print(
+        "  support model recovers it:",
+        "yes" if support_result.border.covers(signature.pattern) else "NO",
+    )
+    print(
+        "  match model recovers it:  ",
+        "yes" if match_result.border.covers(signature.pattern) else "NO",
+    )
+    print()
+    print("top match-model patterns by weight:")
+    heavy = sorted(
+        match_result.frequent,
+        key=lambda p: (-p.weight, -match_result.frequent[p]),
+    )[:6]
+    for pattern in heavy:
+        print(
+            f"  {pattern.to_string(alphabet):20s} "
+            f"match = {match_result.frequent[pattern]:.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

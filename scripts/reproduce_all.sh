@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Reproduce every result in EXPERIMENTS.md from a clean checkout.
+#
+# Usage:  scripts/reproduce_all.sh [small|medium|large]
+set -euo pipefail
+
+SCALE="${1:-small}"
+cd "$(dirname "$0")/.."
+
+echo "== installing (editable) =="
+pip install -e . --quiet 2>/dev/null || python setup.py develop
+
+echo "== unit + integration + property tests =="
+python -m pytest tests/ -q
+
+echo "== paper figures (scale: ${SCALE}) =="
+NOISYMINE_BENCH_SCALE="${SCALE}" \
+    python -m pytest benchmarks/ --benchmark-only -q -s
+
+echo "== examples =="
+python examples/quickstart.py
+python examples/long_patterns.py
+
+echo "All results reproduced.  See EXPERIMENTS.md for the expected shapes."

@@ -1,0 +1,256 @@
+"""Command-line interface.
+
+Three subcommands cover the full workflow on text sequence files
+(the ``<id> TAB <space-separated symbol indices>`` format of
+:meth:`repro.core.sequence.SequenceDatabase.save`):
+
+* ``noisymine generate`` — synthesise a standard database with planted
+  motifs and optionally a noisy test database next to it;
+* ``noisymine mine`` — run one of the six miners over a sequence file
+  and print the frequent patterns;
+* ``noisymine evaluate`` — compare two mining runs (e.g. match model on
+  noisy data vs support model on clean data) by accuracy/completeness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .core.compatibility import CompatibilityMatrix
+from .core.lattice import PatternConstraints
+from .core.pattern import Pattern
+from .core.sequence import FileSequenceDatabase
+from .datagen.motifs import Motif, random_motif
+from .datagen.noise import corrupt_uniform
+from .datagen.synthetic import generate_database
+from .errors import NoisyMineError
+from .eval.metrics import quality
+from .mining.depthfirst import DepthFirstMiner
+from .mining.levelwise import LevelwiseMiner
+from .mining.maxminer import MaxMiner
+from .mining.miner import BorderCollapsingMiner
+from .mining.pincer import PincerMiner
+from .mining.toivonen import ToivonenMiner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="noisymine",
+        description=(
+            "Mining long sequential patterns in a noisy environment "
+            "(Yang, Wang, Yu, Han; SIGMOD 2002)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="synthesise a sequence database with planted motifs"
+    )
+    gen.add_argument("output", help="path for the standard database")
+    gen.add_argument("--sequences", type=int, default=1000)
+    gen.add_argument("--length", type=int, default=50)
+    gen.add_argument("--alphabet", type=int, default=20)
+    gen.add_argument(
+        "--motif-weight", type=int, default=6,
+        help="number of symbols in each planted motif",
+    )
+    gen.add_argument("--motifs", type=int, default=2, dest="n_motifs")
+    gen.add_argument(
+        "--motif-frequency", type=float, default=0.3,
+        help="fraction of sequences carrying each motif",
+    )
+    gen.add_argument(
+        "--noise", type=float, default=0.0,
+        help="also write a noisy test database (uniform alpha)",
+    )
+    gen.add_argument(
+        "--noisy-output", default=None,
+        help="path for the noisy copy (default: <output>.noisy)",
+    )
+    gen.add_argument("--seed", type=int, default=None)
+
+    mine = sub.add_parser("mine", help="mine frequent patterns from a file")
+    mine.add_argument("input", help="sequence file to mine")
+    mine.add_argument(
+        "--format", choices=["text", "fasta"], default="text",
+        help="input format: the library's text format, or FASTA "
+             "(20-letter amino-acid alphabet, implies --alphabet 20)",
+    )
+    mine.add_argument("--alphabet", type=int, default=None,
+                      help="number of distinct symbols m "
+                           "(required for text format)")
+    mine.add_argument("--min-match", type=float, required=True)
+    mine.add_argument(
+        "--algorithm",
+        choices=[
+            "border-collapsing", "levelwise", "maxminer", "toivonen",
+            "pincer", "depthfirst",
+        ],
+        default="border-collapsing",
+    )
+    mine.add_argument(
+        "--noise", type=float, default=0.0,
+        help="uniform noise level used to build the compatibility matrix "
+             "(0 = identity matrix = classical support)",
+    )
+    mine.add_argument("--sample-size", type=int, default=None)
+    mine.add_argument("--delta", type=float, default=1e-4)
+    mine.add_argument("--max-weight", type=int, default=8)
+    mine.add_argument("--max-span", type=int, default=10)
+    mine.add_argument("--max-gap", type=int, default=0)
+    mine.add_argument("--memory-capacity", type=int, default=None)
+    mine.add_argument("--seed", type=int, default=None)
+    mine.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a table",
+    )
+
+    ev = sub.add_parser(
+        "evaluate",
+        help="accuracy/completeness of one pattern list vs a reference",
+    )
+    ev.add_argument("found", help="JSON file produced by 'mine --json'")
+    ev.add_argument("reference", help="JSON file produced by 'mine --json'")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "mine":
+            return _cmd_mine(args)
+        if args.command == "evaluate":
+            return _cmd_evaluate(args)
+    except (NoisyMineError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid JSON input: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable: argparse enforces the command set")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    motifs: List[Motif] = [
+        random_motif(args.motif_weight, args.alphabet, args.motif_frequency,
+                     rng)
+        for _ in range(args.n_motifs)
+    ]
+    database = generate_database(
+        args.sequences, args.length, args.alphabet, motifs, rng=rng
+    )
+    database.save(args.output)
+    print(f"wrote {len(database)} sequences to {args.output}")
+    for motif in motifs:
+        print(f"  planted motif: {motif.pattern.to_string()} "
+              f"(frequency {motif.frequency})")
+    if args.noise > 0:
+        noisy_path = args.noisy_output or f"{args.output}.noisy"
+        noisy = corrupt_uniform(database, args.alphabet, args.noise, rng)
+        noisy.save(noisy_path)
+        print(f"wrote noisy copy (alpha={args.noise}) to {noisy_path}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.format == "fasta":
+        from .datagen.fasta import read_fasta
+
+        database, _headers = read_fasta(args.input)
+        alphabet_size = 20
+    else:
+        if args.alphabet is None:
+            raise NoisyMineError(
+                "--alphabet is required for the text input format"
+            )
+        database = FileSequenceDatabase(args.input)
+        alphabet_size = args.alphabet
+    if args.noise > 0:
+        matrix = CompatibilityMatrix.uniform_noise(alphabet_size, args.noise)
+    else:
+        matrix = CompatibilityMatrix.identity(alphabet_size)
+    constraints = PatternConstraints(
+        max_weight=args.max_weight,
+        max_span=args.max_span,
+        max_gap=args.max_gap,
+    )
+    rng = np.random.default_rng(args.seed)
+    sample_size = args.sample_size or max(1, len(database) // 4)
+    if args.algorithm == "border-collapsing":
+        miner = BorderCollapsingMiner(
+            matrix, args.min_match, sample_size=sample_size,
+            delta=args.delta, constraints=constraints,
+            memory_capacity=args.memory_capacity, rng=rng,
+        )
+    elif args.algorithm == "levelwise":
+        miner = LevelwiseMiner(
+            matrix, args.min_match, constraints=constraints,
+            memory_capacity=args.memory_capacity,
+        )
+    elif args.algorithm == "maxminer":
+        miner = MaxMiner(
+            matrix, args.min_match, constraints=constraints,
+            memory_capacity=args.memory_capacity,
+        )
+    elif args.algorithm == "pincer":
+        miner = PincerMiner(
+            matrix, args.min_match, constraints=constraints,
+            memory_capacity=args.memory_capacity,
+        )
+    elif args.algorithm == "depthfirst":
+        miner = DepthFirstMiner(
+            matrix, args.min_match, constraints=constraints,
+        )
+    else:
+        miner = ToivonenMiner(
+            matrix, args.min_match, sample_size=sample_size,
+            delta=args.delta, constraints=constraints,
+            memory_capacity=args.memory_capacity, rng=rng,
+        )
+    result = miner.mine(database)
+    if args.json:
+        payload = {
+            "algorithm": args.algorithm,
+            "min_match": args.min_match,
+            **result.to_dict(),
+        }
+        # Keep the historical key for downstream consumers.
+        payload["patterns"] = payload.pop("frequent")
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        for pattern in sorted(result.frequent):
+            print(f"  {pattern.to_string():30s} "
+                  f"match={result.frequent[pattern]:.4f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    found = _load_patterns(args.found)
+    reference = _load_patterns(args.reference)
+    report = quality(found, reference)
+    print(report)
+    return 0
+
+
+def _load_patterns(path: str) -> List[Pattern]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    patterns = []
+    for text in payload["patterns"]:
+        elements = [-1 if tok == "*" else int(tok) for tok in text.split()]
+        patterns.append(Pattern(elements))
+    return patterns
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

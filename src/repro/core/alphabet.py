@@ -1,0 +1,138 @@
+"""Symbol alphabets.
+
+The mining model works internally on integer symbol indices; an
+:class:`Alphabet` provides the bidirectional mapping between
+human-readable symbol names (amino-acid letters, event codes, SKU ids,
+...) and the dense integer range ``0 .. m-1`` expected by the match
+engine and the compatibility matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from ..errors import AlphabetError
+
+#: The 20 standard amino acids, in the conventional alphabetical
+#: one-letter-code order used by BLOSUM matrices.
+AMINO_ACIDS: Tuple[str, ...] = (
+    "A", "R", "N", "D", "C", "Q", "E", "G", "H", "I",
+    "L", "K", "M", "F", "P", "S", "T", "W", "Y", "V",
+)
+
+
+class Alphabet:
+    """An immutable, ordered set of distinct symbols.
+
+    Parameters
+    ----------
+    symbols:
+        The symbol names, in index order.  Names must be non-empty
+        strings, unique, and must not be the reserved wildcard ``"*"``.
+
+    Examples
+    --------
+    >>> ab = Alphabet(["a", "b", "c"])
+    >>> ab.index("b")
+    1
+    >>> ab.symbol(2)
+    'c'
+    >>> len(ab)
+    3
+    """
+
+    __slots__ = ("_symbols", "_index")
+
+    def __init__(self, symbols: Iterable[str]):
+        names: List[str] = list(symbols)
+        if not names:
+            raise AlphabetError("an alphabet needs at least one symbol")
+        index = {}
+        for i, name in enumerate(names):
+            if not isinstance(name, str) or not name:
+                raise AlphabetError(
+                    f"symbol at position {i} must be a non-empty string, "
+                    f"got {name!r}"
+                )
+            if name == "*":
+                raise AlphabetError(
+                    "'*' is reserved for the eternal (don't care) symbol"
+                )
+            if name in index:
+                raise AlphabetError(f"duplicate symbol {name!r}")
+            index[name] = i
+        self._symbols: Tuple[str, ...] = tuple(names)
+        self._index = index
+
+    @classmethod
+    def amino_acids(cls) -> "Alphabet":
+        """The 20-letter amino-acid alphabet used throughout the paper."""
+        return cls(AMINO_ACIDS)
+
+    @classmethod
+    def numbered(cls, m: int, prefix: str = "d") -> "Alphabet":
+        """An alphabet ``d1, d2, ..., dm`` as in the paper's examples."""
+        if m < 1:
+            raise AlphabetError(f"alphabet size must be positive, got {m}")
+        return cls(f"{prefix}{i}" for i in range(1, m + 1))
+
+    # -- mapping ---------------------------------------------------------
+
+    def index(self, symbol: str) -> int:
+        """Return the integer index of *symbol*.
+
+        Raises :class:`AlphabetError` for unknown symbols.
+        """
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise AlphabetError(f"unknown symbol {symbol!r}") from None
+
+    def symbol(self, index: int) -> str:
+        """Return the symbol name at *index*."""
+        if not 0 <= index < len(self._symbols):
+            raise AlphabetError(
+                f"index {index} out of range for alphabet of size {len(self)}"
+            )
+        return self._symbols[index]
+
+    def encode(self, symbols: Iterable[str]) -> List[int]:
+        """Encode an iterable of symbol names to a list of indices."""
+        return [self.index(s) for s in symbols]
+
+    def decode(self, indices: Iterable[int]) -> List[str]:
+        """Decode an iterable of indices back to symbol names."""
+        return [self.symbol(int(i)) for i in indices]
+
+    # -- container protocol ---------------------------------------------
+
+    @property
+    def symbols(self) -> Tuple[str, ...]:
+        """All symbol names in index order."""
+        return self._symbols
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        if len(self._symbols) <= 8:
+            inner = ", ".join(self._symbols)
+        else:
+            head = ", ".join(self._symbols[:4])
+            tail = ", ".join(self._symbols[-2:])
+            inner = f"{head}, ..., {tail}"
+        return f"Alphabet([{inner}], m={len(self)})"

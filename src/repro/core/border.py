@@ -1,0 +1,167 @@
+"""Borders of pattern collections (Mannila & Toivonen's notion).
+
+The Apriori property makes the set of frequent patterns *downward
+closed* in the sub-pattern lattice, so it is fully described by its
+**border**: the antichain of maximal elements.  The paper uses two such
+borders, FQT (frequent / ambiguous boundary) and INFQT (ambiguous /
+infrequent boundary), and Phase 3 collapses the gap between them.
+
+:class:`Border` maintains a maximal antichain: adding a pattern that is
+already covered is a no-op, and adding a new maximal pattern evicts any
+member it dominates.  ``covers(p)`` answers "is ``p`` in the downward
+closure?" — i.e. "is ``p`` frequent according to this border?".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set
+
+from .pattern import Pattern
+
+
+class Border:
+    """A maximal antichain describing a downward-closed pattern family.
+
+    Elements are bucketed by weight so coverage queries only test
+    border elements at least as heavy as the query pattern (a pattern
+    can only be a subpattern of an equal-or-heavier one).
+    """
+
+    __slots__ = ("_elements", "_by_weight")
+
+    def __init__(self, patterns: Iterable[Pattern] = ()):
+        self._elements: Set[Pattern] = set()
+        self._by_weight: dict = {}
+        for pattern in patterns:
+            self.add(pattern)
+
+    def add(self, pattern: Pattern) -> bool:
+        """Insert *pattern*, keeping the antichain maximal.
+
+        Returns ``True`` when the border changed (the pattern was not
+        already covered by an existing element).
+        """
+        if self.covers(pattern):
+            return False
+        dominated = [
+            member
+            for weight, bucket in self._by_weight.items()
+            if weight <= pattern.weight
+            for member in bucket
+            if member.is_subpattern_of(pattern)
+        ]
+        for member in dominated:
+            self._discard(member)
+        self._elements.add(pattern)
+        self._by_weight.setdefault(pattern.weight, set()).add(pattern)
+        return True
+
+    def _discard(self, pattern: Pattern) -> None:
+        self._elements.discard(pattern)
+        bucket = self._by_weight.get(pattern.weight)
+        if bucket is not None:
+            bucket.discard(pattern)
+            if not bucket:
+                del self._by_weight[pattern.weight]
+
+    def covers(self, pattern: Pattern) -> bool:
+        """True iff *pattern* lies in the downward closure of the border."""
+        weight = pattern.weight
+        for member_weight, bucket in self._by_weight.items():
+            if member_weight < weight:
+                continue
+            for member in bucket:
+                if pattern.is_subpattern_of(member):
+                    return True
+        return False
+
+    def update(self, patterns: Iterable[Pattern]) -> None:
+        """Add every pattern in *patterns*."""
+        for pattern in patterns:
+            self.add(pattern)
+
+    def copy(self) -> "Border":
+        clone = Border()
+        clone._elements = set(self._elements)
+        clone._by_weight = {
+            weight: set(bucket)
+            for weight, bucket in self._by_weight.items()
+        }
+        return clone
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def elements(self) -> Set[Pattern]:
+        """The border elements (maximal patterns)."""
+        return set(self._elements)
+
+    def max_weight(self) -> int:
+        """Weight of the heaviest border element (0 for an empty border)."""
+        if not self._elements:
+            return 0
+        return max(p.weight for p in self._elements)
+
+    def downward_closure(self) -> Set[Pattern]:
+        """Materialise every pattern covered by the border.
+
+        Exponential in border-element weight; intended for tests and
+        small exact computations, not for production mining.
+        """
+        closure: Set[Pattern] = set()
+        frontier = list(self._elements)
+        while frontier:
+            pattern = frontier.pop()
+            if pattern in closure:
+                continue
+            closure.add(pattern)
+            frontier.extend(pattern.immediate_subpatterns())
+        return closure
+
+    def level_distance(self, other: "Border") -> float:
+        """Average lattice-level gap from this border to *other*.
+
+        For each element of ``self``, the distance to the closest
+        (by weight difference) comparable element of *other*; elements
+        with no comparable counterpart contribute their own weight.
+        Used to reproduce Figure 14(c): how far the final border lies
+        from the border estimated on the sample.
+        """
+        if not self._elements:
+            return 0.0
+        total = 0.0
+        for mine in self._elements:
+            gaps = [
+                abs(mine.weight - theirs.weight)
+                for theirs in other._elements
+                if mine.is_subpattern_of(theirs)
+                or theirs.is_subpattern_of(mine)
+            ]
+            total += min(gaps) if gaps else mine.weight
+        return total / len(self._elements)
+
+    # -- container protocol ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, pattern: object) -> bool:
+        return pattern in self._elements
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Border):
+            return NotImplemented
+        return self._elements == other._elements
+
+    def __repr__(self) -> str:
+        sample = ", ".join(str(p) for p in sorted(self._elements)[:4])
+        suffix = ", ..." if len(self._elements) > 4 else ""
+        return f"Border([{sample}{suffix}], size={len(self._elements)})"
+
+
+def border_from_frequent(frequent: Iterable[Pattern]) -> Border:
+    """Build the border of an explicitly enumerated frequent-pattern set."""
+    return Border(frequent)

@@ -1,0 +1,322 @@
+"""The compatibility matrix (Definition 3.4).
+
+``C[i, j] = P(true value = d_i | observed value = d_j)``: each **column**
+of the matrix is the conditional distribution of the true symbol given
+one observed symbol, so columns sum to one (see Figure 2 of the paper,
+where the columns are labelled "observed value").
+
+The matrix is the probabilistic bridge between a noisy observation and
+the underlying behaviour.  Special cases:
+
+* the identity matrix recovers the classical (noise-free) support model;
+* the all-``1/m`` matrix models pure noise, under which every pattern of
+  a given shape has the same match.
+
+This module also implements the two ways the paper constructs matrices
+in its evaluation:
+
+* :meth:`CompatibilityMatrix.uniform_noise` — the closed form for the
+  uniform error channel of Section 5.1 (``1 - alpha`` on the diagonal,
+  ``alpha / (m - 1)`` elsewhere);
+* :meth:`CompatibilityMatrix.perturbed` — the controlled-error
+  experiment of Figure 8, where each diagonal entry is moved by ``e%``
+  and its column renormalised.
+
+Finally, :func:`compatibility_from_channel` converts a *generating*
+channel ``Q(observed | true)`` plus a prior over true symbols into the
+compatibility matrix ``C(true | observed)`` via Bayes' rule — the
+direction a domain expert or a clinical study would estimate it from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CompatibilityMatrixError
+
+#: Tolerance used when validating that columns are probability
+#: distributions.  Loose enough for float32 inputs, tight enough to
+#: catch genuinely unnormalised matrices.
+_COLUMN_SUM_TOLERANCE = 1e-6
+
+
+class CompatibilityMatrix:
+    """A validated ``m x m`` conditional-probability matrix.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(m, m)``; ``values[i, j]`` is
+        ``P(true = i | observed = j)``.  Columns must each sum to 1.
+    validate:
+        Skip validation when ``False`` (internal fast path for matrices
+        already known to be stochastic).
+    """
+
+    __slots__ = ("_array",)
+
+    def __init__(self, values: Iterable, validate: bool = True):
+        array = np.asarray(values, dtype=np.float64)
+        if validate:
+            _validate(array)
+        array = array.copy()
+        array.setflags(write=False)
+        self._array = array
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def identity(cls, m: int) -> "CompatibilityMatrix":
+        """The noise-free matrix: match degenerates to classical support."""
+        if m < 1:
+            raise CompatibilityMatrixError(f"m must be positive, got {m}")
+        return cls(np.eye(m), validate=False)
+
+    @classmethod
+    def uniform_noise(cls, m: int, alpha: float) -> "CompatibilityMatrix":
+        """Uniform error model of Section 5.1.
+
+        Each observed symbol is its true self with probability
+        ``1 - alpha`` and a misrepresentation of any specific other
+        symbol with probability ``alpha / (m - 1)``.
+
+        >>> C = CompatibilityMatrix.uniform_noise(5, 0.2)
+        >>> float(C[0, 0])
+        0.8
+        """
+        if m < 2:
+            raise CompatibilityMatrixError(
+                f"uniform noise needs at least 2 symbols, got m={m}"
+            )
+        if not 0.0 <= alpha <= 1.0:
+            raise CompatibilityMatrixError(
+                f"noise level alpha must lie in [0, 1], got {alpha}"
+            )
+        off = alpha / (m - 1)
+        array = np.full((m, m), off)
+        np.fill_diagonal(array, 1.0 - alpha)
+        return cls(array, validate=False)
+
+    @classmethod
+    def pure_noise(cls, m: int) -> "CompatibilityMatrix":
+        """The degenerate all-``1/m`` matrix (observation independent of
+        truth); under it every pattern of equal shape has equal match."""
+        if m < 1:
+            raise CompatibilityMatrixError(f"m must be positive, got {m}")
+        return cls(np.full((m, m), 1.0 / m), validate=False)
+
+    @classmethod
+    def random_sparse(
+        cls,
+        m: int,
+        compatible_fraction: float = 0.1,
+        diagonal_weight: float = 0.75,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "CompatibilityMatrix":
+        """A random sparse matrix as in the Section 5.7 scalability study.
+
+        Each observed symbol is compatible with roughly
+        ``compatible_fraction`` of the *other* symbols; the diagonal
+        keeps about ``diagonal_weight`` of the column mass and the rest
+        is spread over the randomly chosen compatible symbols.
+        """
+        if m < 1:
+            raise CompatibilityMatrixError(f"m must be positive, got {m}")
+        if not 0.0 <= compatible_fraction <= 1.0:
+            raise CompatibilityMatrixError(
+                "compatible_fraction must lie in [0, 1], "
+                f"got {compatible_fraction}"
+            )
+        if not 0.0 < diagonal_weight <= 1.0:
+            raise CompatibilityMatrixError(
+                f"diagonal_weight must lie in (0, 1], got {diagonal_weight}"
+            )
+        rng = rng or np.random.default_rng()
+        array = np.zeros((m, m))
+        n_compatible = int(round(compatible_fraction * (m - 1)))
+        for observed in range(m):
+            if n_compatible == 0 or m == 1:
+                array[observed, observed] = 1.0
+                continue
+            others = np.delete(np.arange(m), observed)
+            chosen = rng.choice(others, size=n_compatible, replace=False)
+            weights = rng.random(n_compatible)
+            weights *= (1.0 - diagonal_weight) / weights.sum()
+            array[observed, observed] = diagonal_weight
+            array[chosen, observed] = weights
+        return cls(array, validate=False)
+
+    # -- derived matrices -----------------------------------------------------
+
+    def perturbed(
+        self, error: float, rng: Optional[np.random.Generator] = None
+    ) -> "CompatibilityMatrix":
+        """Inject estimation error, per the Figure 8 experiment.
+
+        For every observed symbol (column) ``j`` the diagonal entry
+        ``C[j, j]`` is scaled by ``1 ± error`` (sign equally likely) and
+        the other entries of the column are rescaled so the column still
+        sums to one.  ``error`` is a fraction, e.g. ``0.10`` for the
+        paper's "10% error".
+        """
+        if error < 0:
+            raise CompatibilityMatrixError(
+                f"error must be non-negative, got {error}"
+            )
+        rng = rng or np.random.default_rng()
+        array = self._array.copy()
+        m = array.shape[0]
+        for j in range(m):
+            diag = array[j, j]
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            new_diag = float(np.clip(diag * (1.0 + sign * error), 0.0, 1.0))
+            rest = 1.0 - diag
+            new_rest = 1.0 - new_diag
+            if rest > 0:
+                scale = new_rest / rest
+                array[:, j] *= scale
+                array[j, j] = new_diag
+            elif new_rest > 0:
+                # Column was a point mass; spread the new error uniformly.
+                array[:, j] = new_rest / max(m - 1, 1)
+                array[j, j] = new_diag
+        return CompatibilityMatrix(array)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying read-only ``(m, m)`` float64 array."""
+        return self._array
+
+    @property
+    def size(self) -> int:
+        """The number of distinct symbols *m*."""
+        return self._array.shape[0]
+
+    def prob(self, true_symbol: int, observed_symbol: int) -> float:
+        """``P(true = true_symbol | observed = observed_symbol)``."""
+        return float(self._array[true_symbol, observed_symbol])
+
+    def column(self, observed_symbol: int) -> np.ndarray:
+        """Distribution over true symbols for one observed symbol."""
+        return self._array[:, observed_symbol]
+
+    def row(self, true_symbol: int) -> np.ndarray:
+        """Compatibility of one true symbol with every observed symbol."""
+        return self._array[true_symbol, :]
+
+    def is_identity(self) -> bool:
+        """True when the matrix encodes the noise-free support model."""
+        return bool(np.array_equal(self._array, np.eye(self.size)))
+
+    def density(self) -> float:
+        """Fraction of strictly positive entries (sparsity diagnostic)."""
+        return float(np.count_nonzero(self._array) / self._array.size)
+
+    def __getitem__(self, key):
+        return self._array[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompatibilityMatrix):
+            return NotImplemented
+        return np.array_equal(self._array, other._array)
+
+    def __hash__(self) -> int:  # immutable value object
+        return hash(self._array.tobytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"CompatibilityMatrix(m={self.size}, "
+            f"density={self.density():.2f})"
+        )
+
+
+def compatibility_from_channel(
+    channel: np.ndarray, priors: Optional[Sequence[float]] = None
+) -> CompatibilityMatrix:
+    """Invert a generating channel into a compatibility matrix.
+
+    Noise is *generated* by a channel ``Q[true, observed] =
+    P(observed | true)`` (rows sum to one); the miner consumes the Bayes
+    inverse ``C[true, observed] = P(true | observed)``:
+
+    .. math::
+
+        C(t \\mid o) = \\frac{Q(o \\mid t)\\, \\pi(t)}
+                             {\\sum_{t'} Q(o \\mid t')\\, \\pi(t')}
+
+    Parameters
+    ----------
+    channel:
+        ``(m, m)`` row-stochastic array, ``channel[true, observed]``.
+    priors:
+        Prior probabilities of each true symbol; uniform when omitted.
+
+    Notes
+    -----
+    For the uniform channel with uniform priors the result coincides
+    with :meth:`CompatibilityMatrix.uniform_noise`, which is why the
+    paper can use the same closed form for both directions.
+    """
+    q = np.asarray(channel, dtype=np.float64)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise CompatibilityMatrixError(
+            f"channel must be square, got shape {q.shape}"
+        )
+    m = q.shape[0]
+    row_sums = q.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=_COLUMN_SUM_TOLERANCE):
+        raise CompatibilityMatrixError(
+            "channel rows must each sum to 1 (they are P(observed | true))"
+        )
+    if priors is None:
+        pi = np.full(m, 1.0 / m)
+    else:
+        pi = np.asarray(priors, dtype=np.float64)
+        if pi.shape != (m,):
+            raise CompatibilityMatrixError(
+                f"priors must have shape ({m},), got {pi.shape}"
+            )
+        if np.any(pi < 0) or not np.isclose(pi.sum(), 1.0):
+            raise CompatibilityMatrixError(
+                "priors must be a probability distribution"
+            )
+    joint = q * pi[:, None]  # joint[t, o] = P(o | t) P(t)
+    observed_marginal = joint.sum(axis=0)
+    if np.any(observed_marginal <= 0):
+        raise CompatibilityMatrixError(
+            "some observed symbol has zero probability under the channel "
+            "and priors; its posterior is undefined"
+        )
+    posterior = joint / observed_marginal[None, :]
+    return CompatibilityMatrix(posterior)
+
+
+def _validate(array: np.ndarray) -> None:
+    """Raise :class:`CompatibilityMatrixError` unless column-stochastic."""
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise CompatibilityMatrixError(
+            f"compatibility matrix must be square, got shape {array.shape}"
+        )
+    if array.shape[0] < 1:
+        raise CompatibilityMatrixError("compatibility matrix must be non-empty")
+    if np.any(np.isnan(array)):
+        raise CompatibilityMatrixError("compatibility matrix contains NaN")
+    if np.any(array < 0) or np.any(array > 1):
+        raise CompatibilityMatrixError(
+            "compatibility entries are conditional probabilities and must "
+            "lie in [0, 1]"
+        )
+    column_sums = array.sum(axis=0)
+    bad = np.flatnonzero(
+        np.abs(column_sums - 1.0) > _COLUMN_SUM_TOLERANCE
+    )
+    if bad.size:
+        raise CompatibilityMatrixError(
+            f"columns {bad.tolist()} do not sum to 1 "
+            f"(sums: {column_sums[bad].tolist()}); each observed symbol "
+            "must induce a probability distribution over true symbols"
+        )

@@ -1,0 +1,314 @@
+"""Sequence databases with scan accounting.
+
+The paper's cost model is *number of passes over a disk-resident
+sequence database*.  Both database implementations here expose the same
+interface and count every full pass through :meth:`SequenceDatabase.scan`,
+so mining algorithms can be compared on the paper's own metric
+(Figure 14(b), Figure 15(a)) without real disks.
+
+* :class:`SequenceDatabase` keeps the sequences in memory (as numpy
+  ``int32`` arrays) — convenient for tests and small experiments.
+* :class:`FileSequenceDatabase` stores one encoded sequence per line in
+  a text file and re-reads the file on every scan — a faithful
+  simulation of disk residency where only O(1) sequences are in memory
+  at a time.
+
+Sampling follows Algorithm 4.1 (lines 12-16): a single sequential pass
+selects each sequence ``i`` with probability ``(n - j) / (N - i)`` given
+``j`` already chosen, which yields a uniform random sample of exactly
+``n`` sequences — the classical sequential sampling scheme the paper
+cites from Vitter.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SamplingError, SequenceDatabaseError
+from .alphabet import Alphabet
+
+SequenceLike = Union[Sequence[int], np.ndarray]
+
+
+def as_sequence_array(sequence: SequenceLike) -> np.ndarray:
+    """Coerce a symbol-index sequence to a 1-D ``int32`` numpy array."""
+    array = np.asarray(sequence, dtype=np.int32)
+    if array.ndim != 1:
+        raise SequenceDatabaseError(
+            f"a sequence must be one-dimensional, got shape {array.shape}"
+        )
+    if array.size == 0:
+        raise SequenceDatabaseError("empty sequences are not allowed")
+    if np.any(array < 0):
+        raise SequenceDatabaseError(
+            "sequences contain symbol indices, which must be >= 0"
+        )
+    return array
+
+
+class SequenceDatabase:
+    """An in-memory database of symbol-index sequences.
+
+    Parameters
+    ----------
+    sequences:
+        Iterable of integer sequences (lists, tuples or numpy arrays).
+    ids:
+        Optional sequence ids; defaults to ``0 .. N-1``.
+
+    Every call to :meth:`scan` increments :attr:`scan_count` — the number
+    of full passes an algorithm has made over the data.
+    """
+
+    def __init__(
+        self,
+        sequences: Iterable[SequenceLike],
+        ids: Optional[Sequence[int]] = None,
+    ):
+        self._sequences: List[np.ndarray] = [
+            as_sequence_array(s) for s in sequences
+        ]
+        if not self._sequences:
+            raise SequenceDatabaseError("a database needs at least one sequence")
+        if ids is None:
+            self._ids = list(range(len(self._sequences)))
+        else:
+            self._ids = [int(i) for i in ids]
+            if len(self._ids) != len(self._sequences):
+                raise SequenceDatabaseError(
+                    f"{len(self._ids)} ids for {len(self._sequences)} sequences"
+                )
+            if len(set(self._ids)) != len(self._ids):
+                raise SequenceDatabaseError("sequence ids must be unique")
+        self._scan_count = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_strings(
+        cls, rows: Iterable[Iterable[str]], alphabet: Alphabet
+    ) -> "SequenceDatabase":
+        """Encode rows of symbol names through *alphabet*.
+
+        >>> ab = Alphabet.numbered(3)
+        >>> db = SequenceDatabase.from_strings([["d1", "d2"], ["d3"]], ab)
+        >>> len(db)
+        2
+        """
+        return cls(alphabet.encode(row) for row in rows)
+
+    # -- scan accounting --------------------------------------------------------
+
+    @property
+    def scan_count(self) -> int:
+        """Number of full passes made over the database so far."""
+        return self._scan_count
+
+    def reset_scan_count(self) -> None:
+        """Zero the pass counter (e.g. between benchmark repetitions)."""
+        self._scan_count = 0
+
+    def scan(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(sequence_id, sequence)`` pairs; counts as one pass."""
+        self._scan_count += 1
+        for sid, seq in zip(self._ids, self._sequences):
+            yield sid, seq
+
+    # -- metadata -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    @property
+    def ids(self) -> Tuple[int, ...]:
+        return tuple(self._ids)
+
+    def sequence(self, sequence_id: int) -> np.ndarray:
+        """Fetch one sequence by id (not counted as a scan)."""
+        try:
+            index = self._ids.index(sequence_id)
+        except ValueError:
+            raise SequenceDatabaseError(
+                f"no sequence with id {sequence_id}"
+            ) from None
+        return self._sequences[index]
+
+    def total_symbols(self) -> int:
+        """Total number of symbol occurrences across all sequences."""
+        return int(sum(len(s) for s in self._sequences))
+
+    def average_length(self) -> float:
+        """The paper's ``l̄_S``: mean sequence length."""
+        return self.total_symbols() / len(self)
+
+    def max_symbol(self) -> int:
+        """Largest symbol index present (useful to size matrices)."""
+        return int(max(int(s.max()) for s in self._sequences))
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> "SequenceDatabase":
+        """Draw a uniform sample of *n* sequences in one sequential pass.
+
+        Implements Algorithm 4.1 lines 12-16: sequence ``i`` is chosen
+        with probability ``(n - j) / (N - i)`` where ``j`` sequences were
+        already chosen among the first ``i``.  The pass is counted via
+        :attr:`scan_count` because the paper folds sampling into the
+        Phase-1 scan.
+        """
+        selected = list(self._select_sample(n, rng))
+        return SequenceDatabase(
+            [seq for _sid, seq in selected],
+            ids=[sid for sid, _seq in selected],
+        )
+
+    def _select_sample(
+        self, n: int, rng: Optional[np.random.Generator]
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        total = len(self)
+        if not 0 < n <= total:
+            raise SamplingError(
+                f"cannot sample {n} sequences from a database of {total}"
+            )
+        rng = rng or np.random.default_rng()
+        chosen = 0
+        for seen, (sid, seq) in enumerate(self.scan()):
+            remaining_needed = n - chosen
+            remaining_rows = total - seen
+            if remaining_needed == 0:
+                break
+            if rng.random() < remaining_needed / remaining_rows:
+                chosen += 1
+                yield sid, seq
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the database in the one-sequence-per-line text format."""
+        with open(path, "w", encoding="ascii") as handle:
+            for sid, seq in zip(self._ids, self._sequences):
+                symbols = " ".join(str(int(v)) for v in seq)
+                handle.write(f"{sid}\t{symbols}\n")
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "SequenceDatabase":
+        """Read a database written by :meth:`save` fully into memory."""
+        ids: List[int] = []
+        rows: List[np.ndarray] = []
+        for sid, seq in _read_sequence_file(path):
+            ids.append(sid)
+            rows.append(seq)
+        if not rows:
+            raise SequenceDatabaseError(f"{path} contains no sequences")
+        return cls(rows, ids=ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceDatabase(N={len(self)}, "
+            f"avg_len={self.average_length():.1f}, scans={self._scan_count})"
+        )
+
+
+class FileSequenceDatabase:
+    """A disk-resident database: one encoded sequence per line of a file.
+
+    The file format matches :meth:`SequenceDatabase.save`:
+    ``<id> TAB <space-separated symbol indices>``.  Every :meth:`scan`
+    re-reads the file from the start; only the current sequence is held
+    in memory, simulating the paper's disk-resident assumption.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self._path = os.fspath(path)
+        if not os.path.exists(self._path):
+            raise SequenceDatabaseError(f"no such sequence file: {self._path}")
+        self._scan_count = 0
+        # One up-front pass (not counted) to learn N and validate format,
+        # mirroring how a real system would hold catalog metadata.
+        self._length = sum(1 for _ in _read_sequence_file(self._path))
+        if self._length == 0:
+            raise SequenceDatabaseError(f"{self._path} contains no sequences")
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def scan_count(self) -> int:
+        return self._scan_count
+
+    def reset_scan_count(self) -> None:
+        self._scan_count = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def scan(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Stream ``(sequence_id, sequence)`` pairs from disk; one pass."""
+        self._scan_count += 1
+        yield from _read_sequence_file(self._path)
+
+    def sample(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> SequenceDatabase:
+        """Sequential uniform sampling (Algorithm 4.1); returns an
+        in-memory database, as the sample is what Phase 2 mines."""
+        total = len(self)
+        if not 0 < n <= total:
+            raise SamplingError(
+                f"cannot sample {n} sequences from a database of {total}"
+            )
+        rng = rng or np.random.default_rng()
+        ids: List[int] = []
+        rows: List[np.ndarray] = []
+        chosen = 0
+        for seen, (sid, seq) in enumerate(self.scan()):
+            if chosen == n:
+                break
+            if rng.random() < (n - chosen) / (total - seen):
+                ids.append(sid)
+                rows.append(seq)
+                chosen += 1
+        return SequenceDatabase(rows, ids=ids)
+
+    def materialize(self) -> SequenceDatabase:
+        """Load the entire file into an in-memory database (one pass)."""
+        self._scan_count += 1
+        return SequenceDatabase.load(self._path)
+
+    def __repr__(self) -> str:
+        return (
+            f"FileSequenceDatabase({self._path!r}, N={self._length}, "
+            f"scans={self._scan_count})"
+        )
+
+
+AnySequenceDatabase = Union[SequenceDatabase, FileSequenceDatabase]
+
+
+def _read_sequence_file(
+    path: Union[str, os.PathLike]
+) -> Iterator[Tuple[int, np.ndarray]]:
+    with open(path, "r", encoding="ascii") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                sid_text, _, body = line.partition("\t")
+                sid = int(sid_text)
+                seq = np.array(body.split(), dtype=np.int32)
+            except ValueError as exc:
+                raise SequenceDatabaseError(
+                    f"{path}:{line_no}: malformed sequence line"
+                ) from exc
+            if seq.size == 0:
+                raise SequenceDatabaseError(
+                    f"{path}:{line_no}: empty sequence"
+                )
+            yield sid, seq

@@ -1,0 +1,53 @@
+"""Synthetic data generation: standard databases with planted motifs,
+noise channels (uniform and BLOSUM50-derived), and the channel-to-
+compatibility-matrix Bayes conversion."""
+
+from .blosum import (
+    BLOSUM50_SCORES,
+    amino_acid_alphabet,
+    blosum50_channel,
+    blosum50_compatibility,
+    blosum50_matrix,
+)
+from .fasta import read_fasta, write_fasta
+from .motifs import Motif, parse_motif, plant, random_motif
+from .noise import (
+    NoiseSetup,
+    expected_occurrence_retention,
+    corrupt_database,
+    corrupt_uniform,
+    uniform_channel,
+    uniform_noise_setup,
+)
+from .synthetic import (
+    AMINO_ACID_COMPOSITION,
+    generate_database,
+    markov_database,
+    protein_like_database,
+    scalability_database,
+)
+
+__all__ = [
+    "BLOSUM50_SCORES",
+    "amino_acid_alphabet",
+    "blosum50_channel",
+    "blosum50_compatibility",
+    "blosum50_matrix",
+    "read_fasta",
+    "write_fasta",
+    "Motif",
+    "parse_motif",
+    "plant",
+    "random_motif",
+    "NoiseSetup",
+    "expected_occurrence_retention",
+    "corrupt_database",
+    "corrupt_uniform",
+    "uniform_channel",
+    "uniform_noise_setup",
+    "AMINO_ACID_COMPOSITION",
+    "generate_database",
+    "markov_database",
+    "protein_like_database",
+    "scalability_database",
+]

@@ -1,0 +1,144 @@
+"""FASTA import/export for protein-sequence databases.
+
+The paper's evaluation data is "a protein database [NCBI] of 600K
+sequences of amino acids"; the lingua franca for such data is FASTA.
+This module reads and writes the format so real protein collections can
+be mined directly:
+
+* ``>`` header lines carry an identifier (and an ignored description);
+* sequence lines hold one-letter amino-acid codes and may wrap;
+* lowercase residues are accepted (masked regions) and upcased;
+* unknown residues (``X``, ``B``, ``Z``, ``U``, ``O``, ``*``, ``-``)
+  are either rejected, skipped, or remapped, per ``on_unknown``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Tuple, Union
+
+from ..core.alphabet import AMINO_ACIDS, Alphabet
+from ..core.sequence import SequenceDatabase
+from ..errors import SequenceDatabaseError
+
+#: Residue codes that are not one of the 20 standard amino acids.
+NON_STANDARD_RESIDUES = frozenset("XBZJUO*-.")
+
+#: Policies for handling non-standard residues while reading.
+ON_UNKNOWN_POLICIES = ("error", "skip_residue", "skip_sequence")
+
+
+def read_fasta(
+    path: Union[str, os.PathLike],
+    alphabet: Optional[Alphabet] = None,
+    on_unknown: str = "error",
+) -> Tuple[SequenceDatabase, List[str]]:
+    """Read a FASTA file into a sequence database.
+
+    Parameters
+    ----------
+    path:
+        The FASTA file.
+    alphabet:
+        Symbol alphabet; the 20 standard amino acids by default.
+    on_unknown:
+        What to do with residues outside the alphabet:
+        ``"error"`` (default), ``"skip_residue"`` (drop the residue) or
+        ``"skip_sequence"`` (drop the whole sequence).
+
+    Returns
+    -------
+    (database, headers):
+        The database (ids are 0-based read order among *kept*
+        sequences) and the corresponding FASTA header strings.
+    """
+    if on_unknown not in ON_UNKNOWN_POLICIES:
+        raise SequenceDatabaseError(
+            f"on_unknown must be one of {ON_UNKNOWN_POLICIES}, "
+            f"got {on_unknown!r}"
+        )
+    alphabet = alphabet or Alphabet(AMINO_ACIDS)
+    headers: List[str] = []
+    rows: List[List[int]] = []
+    for header, residues in _parse_records(path):
+        encoded: List[int] = []
+        keep = True
+        for residue in residues:
+            residue = residue.upper()
+            if residue in alphabet:
+                encoded.append(alphabet.index(residue))
+            elif on_unknown == "skip_residue":
+                continue
+            elif on_unknown == "skip_sequence":
+                keep = False
+                break
+            else:
+                raise SequenceDatabaseError(
+                    f"{path}: sequence {header!r} contains non-standard "
+                    f"residue {residue!r}; pass on_unknown='skip_residue' "
+                    "or 'skip_sequence' to tolerate it"
+                )
+        if keep and encoded:
+            headers.append(header)
+            rows.append(encoded)
+    if not rows:
+        raise SequenceDatabaseError(f"{path}: no usable FASTA records")
+    return SequenceDatabase(rows), headers
+
+
+def write_fasta(
+    database: SequenceDatabase,
+    path: Union[str, os.PathLike],
+    alphabet: Optional[Alphabet] = None,
+    headers: Optional[List[str]] = None,
+    line_width: int = 60,
+) -> None:
+    """Write a sequence database as FASTA.
+
+    Headers default to ``seq<id>``; *line_width* controls wrapping.
+    """
+    if line_width < 1:
+        raise SequenceDatabaseError(
+            f"line_width must be >= 1, got {line_width}"
+        )
+    alphabet = alphabet or Alphabet(AMINO_ACIDS)
+    ids = database.ids
+    if headers is not None and len(headers) != len(ids):
+        raise SequenceDatabaseError(
+            f"{len(headers)} headers for {len(ids)} sequences"
+        )
+    with open(path, "w", encoding="ascii") as handle:
+        for position, sid in enumerate(ids):
+            header = headers[position] if headers else f"seq{sid}"
+            handle.write(f">{header}\n")
+            letters = "".join(
+                alphabet.symbol(int(v)) for v in database.sequence(sid)
+            )
+            for start in range(0, len(letters), line_width):
+                handle.write(letters[start : start + line_width] + "\n")
+
+
+def _parse_records(
+    path: Union[str, os.PathLike]
+) -> Iterator[Tuple[str, str]]:
+    header: Optional[str] = None
+    chunks: List[str] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield header, "".join(chunks)
+                header = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if header is None:
+                    raise SequenceDatabaseError(
+                        f"{path}:{line_no}: sequence data before the "
+                        "first '>' header"
+                    )
+                chunks.append(line)
+    if header is not None:
+        yield header, "".join(chunks)

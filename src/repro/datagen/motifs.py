@@ -1,0 +1,106 @@
+"""Planted motifs: the ground-truth regularities of synthetic databases.
+
+A :class:`Motif` couples a pattern with the fraction of sequences it is
+planted into.  The generator writes the motif's fixed symbols at a
+random position of each selected sequence (wildcard positions keep the
+background symbol), so in the *standard* (noise-free) database the
+motif's support among planted sequences is exactly 1 and its database
+support is approximately the planting frequency — the knob the paper's
+threshold sweeps turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.alphabet import Alphabet
+from ..core.pattern import Pattern, WILDCARD
+from ..errors import NoisyMineError
+
+
+@dataclass(frozen=True)
+class Motif:
+    """A pattern planted into a synthetic database.
+
+    Attributes
+    ----------
+    pattern:
+        The motif's pattern (wildcard positions stay background noise).
+    frequency:
+        Fraction of sequences that receive one planted occurrence.
+    """
+
+    pattern: Pattern
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.frequency <= 1.0:
+            raise NoisyMineError(
+                f"motif frequency must lie in (0, 1], got {self.frequency}"
+            )
+
+    @property
+    def span(self) -> int:
+        return self.pattern.span
+
+
+def random_motif(
+    weight: int,
+    alphabet_size: int,
+    frequency: float,
+    rng: Optional[np.random.Generator] = None,
+    gap_probability: float = 0.0,
+    max_gap: int = 1,
+) -> Motif:
+    """Draw a random motif of the given weight.
+
+    With probability *gap_probability* (per inter-symbol slot) a
+    wildcard gap of 1..*max_gap* positions is inserted, producing the
+    position-sensitive gapped signatures (e.g. Zinc-Finger-like) the
+    paper's model supports.
+    """
+    if weight < 1:
+        raise NoisyMineError(f"motif weight must be >= 1, got {weight}")
+    if alphabet_size < 1:
+        raise NoisyMineError(
+            f"alphabet_size must be >= 1, got {alphabet_size}"
+        )
+    rng = rng or np.random.default_rng()
+    elements: List[int] = [int(rng.integers(alphabet_size))]
+    for _ in range(weight - 1):
+        if gap_probability > 0 and rng.random() < gap_probability:
+            elements.extend([WILDCARD] * int(rng.integers(1, max_gap + 1)))
+        elements.append(int(rng.integers(alphabet_size)))
+    return Motif(Pattern(elements), frequency)
+
+
+def plant(
+    sequence: np.ndarray,
+    motif: Motif,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Write one occurrence of *motif* into *sequence* (in place).
+
+    The start position is uniform among the feasible windows.  Raises
+    :class:`NoisyMineError` when the sequence is shorter than the span.
+    """
+    span = motif.span
+    if len(sequence) < span:
+        raise NoisyMineError(
+            f"sequence of length {len(sequence)} cannot host a motif of "
+            f"span {span}"
+        )
+    start = int(rng.integers(len(sequence) - span + 1))
+    for offset, symbol in motif.pattern.fixed_positions:
+        sequence[start + offset] = symbol
+    return sequence
+
+
+def parse_motif(
+    text: str, frequency: float, alphabet: Alphabet
+) -> Motif:
+    """Build a motif from a pattern string like ``"C * * C H"``."""
+    return Motif(Pattern.parse(text, alphabet), frequency)

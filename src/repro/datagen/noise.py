@@ -1,0 +1,184 @@
+"""Noise channels: how *test databases* derive from standard ones.
+
+Section 5.1 of the paper: given a standard database, the test database
+replaces each symbol ``d_i`` with itself with probability ``1 - α`` and
+with any specific other symbol with probability ``α / (m - 1)``.  The
+general form of that operation is a row-stochastic **channel**
+``Q[true, observed] = P(observed | true)``; this module generates
+channels (uniform and arbitrary), pushes databases through them, and
+produces the matching compatibility matrix for the miner via Bayes
+inversion (:func:`repro.core.compatibility.compatibility_from_channel`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.compatibility import (
+    CompatibilityMatrix,
+)
+from ..core.sequence import SequenceDatabase
+from ..errors import NoisyMineError
+
+
+def uniform_channel(alphabet_size: int, alpha: float) -> np.ndarray:
+    """The Section 5.1 uniform error channel.
+
+    ``Q[i, i] = 1 - alpha`` and ``Q[i, j] = alpha / (m - 1)`` for
+    ``j != i``.  With uniform symbol priors its Bayes inverse equals the
+    paper's closed-form compatibility matrix, so generation and mining
+    agree exactly.
+    """
+    if alphabet_size < 2:
+        raise NoisyMineError(
+            f"a noise channel needs at least 2 symbols, got {alphabet_size}"
+        )
+    if not 0.0 <= alpha <= 1.0:
+        raise NoisyMineError(f"alpha must lie in [0, 1], got {alpha}")
+    off = alpha / (alphabet_size - 1)
+    channel = np.full((alphabet_size, alphabet_size), off)
+    np.fill_diagonal(channel, 1.0 - alpha)
+    return channel
+
+
+def corrupt_database(
+    database: SequenceDatabase,
+    channel: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+) -> SequenceDatabase:
+    """Push every symbol of *database* through the channel independently.
+
+    Returns a new database (the *test database*) with identical ids and
+    lengths; the input is untouched.  The pass over the input is not
+    scan-counted (data generation is outside the mining cost model).
+    """
+    q = np.asarray(channel, dtype=np.float64)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise NoisyMineError(f"channel must be square, got shape {q.shape}")
+    if not np.allclose(q.sum(axis=1), 1.0, atol=1e-9):
+        raise NoisyMineError("channel rows must sum to 1")
+    rng = rng or np.random.default_rng()
+    m = q.shape[0]
+    # Inverse-CDF sampling vectorised over each sequence.
+    cdf = np.cumsum(q, axis=1)
+    rows = []
+    ids = []
+    for sid, seq in zip(database.ids, (database.sequence(i) for i in database.ids)):
+        if int(seq.max()) >= m:
+            raise NoisyMineError(
+                f"sequence {sid} contains symbol {int(seq.max())} outside "
+                f"the {m}-symbol channel"
+            )
+        draws = rng.random(len(seq))
+        observed = (cdf[seq] < draws[:, None]).sum(axis=1)
+        observed = np.minimum(observed, m - 1).astype(np.int32)
+        rows.append(observed)
+        ids.append(sid)
+    return SequenceDatabase(rows, ids=ids)
+
+
+def corrupt_uniform(
+    database: SequenceDatabase,
+    alphabet_size: int,
+    alpha: float,
+    rng: Optional[np.random.Generator] = None,
+) -> SequenceDatabase:
+    """Fast path for the uniform channel.
+
+    Each symbol flips with probability ``alpha``; a flipped symbol
+    becomes a uniformly chosen *different* symbol, exactly as in the
+    paper's test-database construction.
+    """
+    if alphabet_size < 2:
+        raise NoisyMineError(
+            f"uniform corruption needs at least 2 symbols, got {alphabet_size}"
+        )
+    if not 0.0 <= alpha <= 1.0:
+        raise NoisyMineError(f"alpha must lie in [0, 1], got {alpha}")
+    rng = rng or np.random.default_rng()
+    rows = []
+    ids = []
+    for sid in database.ids:
+        seq = np.array(database.sequence(sid), copy=True)
+        flips = rng.random(len(seq)) < alpha
+        n_flips = int(flips.sum())
+        if n_flips:
+            # Draw a uniformly random *other* symbol: add 1..m-1 mod m.
+            offsets = rng.integers(1, alphabet_size, size=n_flips)
+            seq[flips] = (seq[flips] + offsets) % alphabet_size
+        rows.append(seq)
+        ids.append(sid)
+    return SequenceDatabase(rows, ids=ids)
+
+
+def expected_occurrence_retention(
+    channel: np.ndarray,
+    matrix: CompatibilityMatrix,
+    weight: int,
+) -> float:
+    """Expected match of one noisy occurrence of a weight-``weight``
+    pattern, relative to the support scale.
+
+    Per position, a true symbol ``t`` is observed as ``o`` with
+    probability ``Q(o | t)`` and then scores ``C(t, o)``; the expected
+    per-position factor is ``Σ_o Q(o|t) C(t,o)``, averaged over true
+    symbols and raised to the pattern weight.  This is the principled
+    conversion between a support-scale threshold and a match-scale one
+    when the generating channel is known:
+
+    ``min_match ≈ min_support × expected_occurrence_retention(...)``
+
+    (For the uniform channel this is ``((1-α)² + α²/(m-1))^weight``.)
+    """
+    q = np.asarray(channel, dtype=np.float64)
+    if q.shape != matrix.array.shape:
+        raise NoisyMineError(
+            f"channel shape {q.shape} does not fit matrix "
+            f"shape {matrix.array.shape}"
+        )
+    if weight < 1:
+        raise NoisyMineError(f"weight must be >= 1, got {weight}")
+    per_symbol = (q * matrix.array).sum(axis=1)
+    return float(np.mean(per_symbol) ** weight)
+
+
+def uniform_noise_setup(
+    database: SequenceDatabase,
+    alphabet_size: int,
+    alpha: float,
+    rng: Optional[np.random.Generator] = None,
+) -> "NoiseSetup":
+    """Build the full Section 5.1 experimental setup in one call:
+    the test database plus the matching compatibility matrix."""
+    test = corrupt_uniform(database, alphabet_size, alpha, rng)
+    if alpha == 0.0:
+        matrix = CompatibilityMatrix.identity(alphabet_size)
+    else:
+        matrix = CompatibilityMatrix.uniform_noise(alphabet_size, alpha)
+    return NoiseSetup(standard=database, test=test, matrix=matrix, alpha=alpha)
+
+
+class NoiseSetup:
+    """A (standard database, test database, compatibility matrix) triple."""
+
+    __slots__ = ("standard", "test", "matrix", "alpha")
+
+    def __init__(
+        self,
+        standard: SequenceDatabase,
+        test: SequenceDatabase,
+        matrix: CompatibilityMatrix,
+        alpha: float,
+    ):
+        self.standard = standard
+        self.test = test
+        self.matrix = matrix
+        self.alpha = alpha
+
+    def __repr__(self) -> str:
+        return (
+            f"NoiseSetup(alpha={self.alpha}, N={len(self.standard)}, "
+            f"m={self.matrix.size})"
+        )

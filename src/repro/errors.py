@@ -1,0 +1,47 @@
+"""Exception hierarchy for the noisymine library.
+
+Every error raised deliberately by this package derives from
+:class:`NoisyMineError`, so callers can catch library failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class NoisyMineError(Exception):
+    """Base class for all errors raised by the noisymine library."""
+
+
+class AlphabetError(NoisyMineError):
+    """A symbol or index does not belong to the alphabet."""
+
+
+class PatternError(NoisyMineError):
+    """A pattern violates the model's structural rules.
+
+    The paper (Definition 3.2) requires that neither the first nor the
+    last element of a pattern is the eternal symbol ``*`` and that a
+    pattern contains at least one non-eternal symbol.
+    """
+
+
+class CompatibilityMatrixError(NoisyMineError):
+    """A compatibility matrix is malformed.
+
+    Raised when the matrix is not square, contains values outside
+    ``[0, 1]``, or has a column that does not sum to one (each observed
+    symbol must induce a probability distribution over true symbols,
+    per Definition 3.4 and Figure 2 of the paper).
+    """
+
+
+class SequenceDatabaseError(NoisyMineError):
+    """A sequence database is malformed or an operation on it is invalid."""
+
+
+class MiningError(NoisyMineError):
+    """A mining run was configured inconsistently or failed midway."""
+
+
+class SamplingError(NoisyMineError):
+    """A sampling request cannot be satisfied (e.g. more samples than rows)."""

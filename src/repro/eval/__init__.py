@@ -1,0 +1,26 @@
+"""Evaluation: Section-5 quality metrics and the experiment harness."""
+
+from .harness import ExperimentTable, sweep
+from .metrics import (
+    MISSED_BUCKETS,
+    QualityReport,
+    accuracy,
+    completeness,
+    confusion,
+    error_rate,
+    missed_match_distribution,
+    quality,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "sweep",
+    "MISSED_BUCKETS",
+    "QualityReport",
+    "accuracy",
+    "completeness",
+    "confusion",
+    "error_rate",
+    "missed_match_distribution",
+    "quality",
+]

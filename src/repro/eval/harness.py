@@ -1,0 +1,115 @@
+"""Experiment harness: parameter sweeps and paper-style tables.
+
+Every benchmark regenerates one table or figure of the paper; this
+module holds the shared plumbing so each benchmark file reads as a
+declaration of its workload: an :class:`ExperimentTable` accumulates
+``(x, series, value)`` triples and renders the same rows the paper
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class ExperimentTable:
+    """A small column-oriented result table with pretty printing.
+
+    ``add(x, series, value)`` records one measured point; ``render()``
+    produces a fixed-width table with one row per x-value and one
+    column per series — the textual equivalent of a paper figure.
+    """
+
+    title: str
+    x_label: str
+    cells: Dict[Tuple[object, str], object] = field(default_factory=dict)
+    x_values: List[object] = field(default_factory=list)
+    series_names: List[str] = field(default_factory=list)
+
+    def add(self, x: object, series: str, value: object) -> None:
+        """Record the value of *series* at sweep point *x*."""
+        if x not in self.x_values:
+            self.x_values.append(x)
+        if series not in self.series_names:
+            self.series_names.append(series)
+        self.cells[(x, series)] = value
+
+    def column(self, series: str) -> List[object]:
+        """All recorded values of one series, in x order."""
+        return [self.cells.get((x, series)) for x in self.x_values]
+
+    def render(self) -> str:
+        """Fixed-width text rendering of the table."""
+        headers = [self.x_label] + self.series_names
+        rows: List[List[str]] = []
+        for x in self.x_values:
+            row = [_fmt(x)]
+            for series in self.series_names:
+                row.append(_fmt(self.cells.get((x, series))))
+            rows.append(row)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table (used by the benchmark harness)."""
+        print()
+        print(self.render())
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS-style
+        reports)."""
+        headers = [self.x_label] + self.series_names
+        lines = [
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        for x in self.x_values:
+            row = [_fmt(x)] + [
+                _fmt(self.cells.get((x, series)))
+                for series in self.series_names
+            ]
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sweep(
+    values: Sequence[object],
+    runner: Callable[[object], Dict[str, object]],
+    table: ExperimentTable,
+) -> ExperimentTable:
+    """Run *runner* for every sweep value and collect its series dict.
+
+    ``runner(x)`` returns ``{series_name: value}``; each entry lands in
+    the table at row *x*.
+    """
+    for x in values:
+        for series, value in runner(x).items():
+            table.add(x, series, value)
+    return table

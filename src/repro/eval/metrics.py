@@ -1,0 +1,142 @@
+"""Result-quality metrics used throughout Section 5.
+
+* **accuracy** — how selective a model is: the fraction of reported
+  patterns that belong to the reference result,
+  ``|found ∩ reference| / |found|``;
+* **completeness** — how well the expected result is covered:
+  ``|found ∩ reference| / |reference|``;
+* **error rate** — mislabeled patterns over frequent patterns
+  (Figure 12(b));
+* **missed-match distribution** — how far above the threshold the
+  matches of missed patterns lie (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.pattern import Pattern
+from ..errors import NoisyMineError
+
+
+def accuracy(found: Iterable[Pattern], reference: Iterable[Pattern]) -> float:
+    """``|found ∩ reference| / |found|`` (1.0 when nothing was found)."""
+    found_set = set(found)
+    if not found_set:
+        return 1.0
+    reference_set = set(reference)
+    return len(found_set & reference_set) / len(found_set)
+
+
+def completeness(
+    found: Iterable[Pattern], reference: Iterable[Pattern]
+) -> float:
+    """``|found ∩ reference| / |reference|`` (1.0 for an empty reference)."""
+    reference_set = set(reference)
+    if not reference_set:
+        return 1.0
+    found_set = set(found)
+    return len(found_set & reference_set) / len(reference_set)
+
+
+def error_rate(
+    found: Iterable[Pattern], reference: Iterable[Pattern]
+) -> float:
+    """Mislabeled patterns over frequent patterns (Figure 12(b)).
+
+    A pattern is mislabeled when it appears in exactly one of the two
+    sets; the denominator is the reference (truly frequent) set.
+    """
+    found_set = set(found)
+    reference_set = set(reference)
+    if not reference_set:
+        return 0.0 if not found_set else float(len(found_set))
+    mislabeled = len(found_set ^ reference_set)
+    return mislabeled / len(reference_set)
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Accuracy and completeness of one mining result vs a reference."""
+
+    accuracy: float
+    completeness: float
+    found: int
+    reference: int
+
+    def __str__(self) -> str:
+        return (
+            f"accuracy={self.accuracy:.3f} "
+            f"completeness={self.completeness:.3f} "
+            f"(found {self.found}, expected {self.reference})"
+        )
+
+
+def quality(
+    found: Iterable[Pattern], reference: Iterable[Pattern]
+) -> QualityReport:
+    """Bundle accuracy and completeness into one report."""
+    found_set = set(found)
+    reference_set = set(reference)
+    return QualityReport(
+        accuracy=accuracy(found_set, reference_set),
+        completeness=completeness(found_set, reference_set),
+        found=len(found_set),
+        reference=len(reference_set),
+    )
+
+
+#: Figure 13 buckets: percentage of the threshold by which a missed
+#: pattern's real match exceeds the threshold.
+MISSED_BUCKETS: Tuple[Tuple[float, float], ...] = (
+    (0.00, 0.05),
+    (0.05, 0.10),
+    (0.10, 0.15),
+    (0.15, float("inf")),
+)
+
+
+def missed_match_distribution(
+    missed_matches: Mapping[Pattern, float],
+    min_match: float,
+    buckets: Sequence[Tuple[float, float]] = MISSED_BUCKETS,
+) -> List[float]:
+    """Histogram of missed patterns by relative excess over the threshold.
+
+    *missed_matches* maps each missed (truly frequent but unreported)
+    pattern to its real match; a pattern with real match ``v`` falls in
+    bucket ``(lo, hi]`` when ``lo <= (v - min_match) / min_match < hi``.
+    Returns the fraction of missed patterns per bucket (empty input
+    yields all-zero fractions).
+    """
+    if min_match <= 0:
+        raise NoisyMineError(f"min_match must be positive, got {min_match}")
+    counts = [0] * len(buckets)
+    total = 0
+    for value in missed_matches.values():
+        excess = (value - min_match) / min_match
+        if excess < 0:
+            continue  # not actually frequent; not a "missed" pattern
+        total += 1
+        for index, (low, high) in enumerate(buckets):
+            if low <= excess < high:
+                counts[index] += 1
+                break
+    if total == 0:
+        return [0.0] * len(buckets)
+    return [count / total for count in counts]
+
+
+def confusion(
+    found: Iterable[Pattern], reference: Iterable[Pattern]
+) -> Dict[str, int]:
+    """True/false positive/negative pattern counts (negatives relative
+    to the union of both sets)."""
+    found_set = set(found)
+    reference_set = set(reference)
+    return {
+        "true_positive": len(found_set & reference_set),
+        "false_positive": len(found_set - reference_set),
+        "false_negative": len(reference_set - found_set),
+    }

@@ -1,0 +1,61 @@
+"""Mining algorithms: the paper's three-phase border-collapsing miner
+and the two baselines it is evaluated against (Max-Miner, sampling-based
+level-wise search), plus the shared Chernoff and counting machinery."""
+
+from .ambiguous import ambiguous_count, classify_on_sample
+from .chernoff import (
+    AMBIGUOUS,
+    FREQUENT,
+    INFREQUENT,
+    chernoff_epsilon,
+    classify_value,
+    misclassification_tail,
+    required_sample_size,
+    restricted_spread,
+)
+from .collapsing import (
+    CollapseOutcome,
+    collapse_borders,
+    layer_schedule,
+    select_probe_batch,
+)
+from .counting import count_matches_batched
+from .depthfirst import DepthFirstMiner
+from .levelwise import LevelwiseMiner, mine_support
+from .maxminer import MaxMiner
+from .miner import BorderCollapsingMiner, mine_noisy_patterns
+from .pincer import PincerMiner
+from .result import LevelStats, MiningResult, SampleClassification
+from .toivonen import ToivonenMiner
+from .verify import VerificationReport, verify_result
+
+__all__ = [
+    "ambiguous_count",
+    "classify_on_sample",
+    "AMBIGUOUS",
+    "FREQUENT",
+    "INFREQUENT",
+    "chernoff_epsilon",
+    "classify_value",
+    "misclassification_tail",
+    "required_sample_size",
+    "restricted_spread",
+    "CollapseOutcome",
+    "collapse_borders",
+    "layer_schedule",
+    "select_probe_batch",
+    "count_matches_batched",
+    "DepthFirstMiner",
+    "LevelwiseMiner",
+    "mine_support",
+    "MaxMiner",
+    "BorderCollapsingMiner",
+    "mine_noisy_patterns",
+    "PincerMiner",
+    "LevelStats",
+    "MiningResult",
+    "SampleClassification",
+    "ToivonenMiner",
+    "VerificationReport",
+    "verify_result",
+]

@@ -1,0 +1,176 @@
+"""Phase 2: three-way pattern classification on the in-memory sample.
+
+Given the Phase-1 outputs (exact per-symbol matches over the full
+database and a uniform random sample), this module runs a breadth-first
+search **on the sample only** and labels every candidate pattern:
+
+* ``frequent``   — sample match above ``min_match + ε``,
+* ``ambiguous``  — sample match within the ``±ε`` band,
+* ``infrequent`` — sample match below ``min_match - ε``,
+
+where ``ε`` is the Chernoff band for the pattern's restricted spread
+(Claims 4.1/4.2).  Candidates are extended as long as they are not
+infrequent: by the Apriori property a pattern is worth examining iff
+every subpattern is frequent-or-ambiguous.
+
+The output is the pair of borders the paper calls FQT and INFQT,
+together with per-pattern labels, sample matches and band widths.
+Sample scans are free in the paper's cost model (the sample lives in
+memory), so this phase contributes no database passes.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.border import Border
+from ..core.compatibility import CompatibilityMatrix
+from ..core.lattice import PatternConstraints, generate_candidates
+from ..core.pattern import Pattern
+from ..core.sequence import SequenceDatabase
+from ..errors import MiningError
+from .chernoff import (
+    AMBIGUOUS,
+    FREQUENT,
+    INFREQUENT,
+    chernoff_epsilon,
+    classify_value,
+    restricted_spread,
+)
+from .counting import count_matches_batched
+from .result import SampleClassification
+
+
+def classify_on_sample(
+    sample: SequenceDatabase,
+    matrix: CompatibilityMatrix,
+    min_match: float,
+    delta: float,
+    symbol_match: Sequence[float],
+    constraints: Optional[PatternConstraints] = None,
+    use_restricted_spread: bool = True,
+    exact: bool = False,
+) -> SampleClassification:
+    """Run the Phase-2 breadth-first classification.
+
+    Parameters
+    ----------
+    sample:
+        The in-memory sample drawn during Phase 1.
+    symbol_match:
+        Exact per-symbol matches over the **full** database (Phase 1);
+        symbols are decided exactly, and the per-pattern restricted
+        spread is derived from these values.
+    use_restricted_spread:
+        When ``False``, the default spread ``R = 1`` is used for every
+        pattern — the configuration Figure 11(b) compares against.
+    delta:
+        Chernoff failure probability; confidence is ``1 - delta``.
+    exact:
+        The sample *is* the full database: matches are exact, the band
+        collapses to zero and no pattern stays ambiguous.  Used by the
+        miner when the database fits in memory.
+    """
+    constraints = constraints or PatternConstraints()
+    if not 0.0 < min_match <= 1.0:
+        raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
+    n = len(sample)
+
+    symbol_match = np.asarray(symbol_match, dtype=np.float64)
+    if symbol_match.shape != (matrix.size,):
+        raise MiningError(
+            f"symbol_match must have shape ({matrix.size},), "
+            f"got {symbol_match.shape}"
+        )
+
+    # Level 1: symbols are decided exactly by the Phase-1 full scan.
+    frequent_symbols = [
+        d for d in range(matrix.size) if symbol_match[d] >= min_match
+    ]
+    # Degenerate-band check: when the Chernoff half-width reaches the
+    # threshold, the lower band edge hits zero, no pattern can ever be
+    # labelled infrequent, and the candidate space explodes.  The fix is
+    # a larger sample, a larger delta, or a higher threshold.
+    worst_spread = (
+        max((float(symbol_match[d]) for d in frequent_symbols), default=1.0)
+        if use_restricted_spread
+        else 1.0
+    )
+    worst_epsilon = chernoff_epsilon(worst_spread, delta, n)
+    if not exact and worst_epsilon >= min_match:
+        warnings.warn(
+            f"Chernoff band half-width ({worst_epsilon:.3f}) reaches the "
+            f"min_match threshold ({min_match}); no pattern can be ruled "
+            "out on this sample and candidate enumeration may explode. "
+            "Increase sample_size, increase delta, or raise min_match.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    labels: Dict[Pattern, str] = {}
+    sample_matches: Dict[Pattern, float] = {}
+    epsilons: Dict[Pattern, float] = {}
+    fqt = Border()
+    infqt = Border()
+    survivors: Set[Pattern] = set()
+    for d in range(matrix.size):
+        pattern = Pattern.single(d)
+        value = float(symbol_match[d])
+        sample_matches[pattern] = value
+        epsilons[pattern] = 0.0  # exact, no band
+        if value >= min_match:
+            labels[pattern] = FREQUENT
+            fqt.add(pattern)
+            infqt.add(pattern)
+            survivors.add(pattern)
+        else:
+            labels[pattern] = INFREQUENT
+
+    level = 1
+    while survivors and level < constraints.max_weight:
+        candidates = generate_candidates(
+            survivors, frequent_symbols, constraints
+        )
+        if not candidates:
+            break
+        level += 1
+        matches = count_matches_batched(sorted(candidates), sample, matrix)
+        next_survivors: Set[Pattern] = set()
+        for pattern, value in matches.items():
+            if exact:
+                epsilon = 0.0
+            else:
+                spread = (
+                    restricted_spread(pattern, symbol_match)
+                    if use_restricted_spread
+                    else 1.0
+                )
+                epsilon = chernoff_epsilon(spread, delta, n)
+            label = classify_value(value, min_match, epsilon)
+            labels[pattern] = label
+            sample_matches[pattern] = value
+            epsilons[pattern] = epsilon
+            if label == FREQUENT:
+                fqt.add(pattern)
+            if label != INFREQUENT:
+                infqt.add(pattern)
+                next_survivors.add(pattern)
+        survivors = next_survivors
+
+    return SampleClassification(
+        fqt=fqt,
+        infqt=infqt,
+        labels=labels,
+        sample_matches=sample_matches,
+        epsilons=epsilons,
+        symbol_match={d: float(v) for d, v in enumerate(symbol_match)},
+    )
+
+
+def ambiguous_count(classification: SampleClassification) -> int:
+    """Number of patterns labelled ambiguous (Figures 10-12 metric)."""
+    return sum(
+        1 for label in classification.labels.values() if label == AMBIGUOUS
+    )

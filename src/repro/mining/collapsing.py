@@ -1,0 +1,190 @@
+"""Phase 3: border collapsing (Algorithms 4.3 and 4.4).
+
+After Phase 2, the patterns between the FQT and INFQT borders are
+*ambiguous*: the sample was not conclusive about them.  A level-wise
+verification would march through them one lattice level per scan; the
+paper instead probes the **halfway layers** between the two borders —
+a binary search through the lattice.  Every probed pattern decides more
+than itself: a frequent probe certifies all its subpatterns frequent,
+an infrequent probe condemns all its superpatterns (the Apriori
+property), so each scan collapses the remaining ambiguous region by
+roughly half (and more when a layer gets mixed labels, the paper's
+Figure 6(b) scenario).
+
+The probe schedule follows Algorithm 4.3: the halfway layer first, then
+the quarter-way layers, the eighth-way layers, ... until the memory
+budget (number of counters per scan) is filled; one database pass counts
+all scheduled probes; labels propagate; repeat until no ambiguous
+pattern remains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.border import Border
+from ..core.compatibility import CompatibilityMatrix
+from ..core.pattern import Pattern
+from ..core.sequence import AnySequenceDatabase
+from ..errors import MiningError
+from .counting import count_matches_batched
+from .result import SampleClassification
+
+
+@dataclass
+class CollapseOutcome:
+    """What border collapsing produced.
+
+    Attributes
+    ----------
+    border:
+        The final border of frequent patterns.
+    verified:
+        Exact database matches for every pattern probed in Phase 3.
+    scans:
+        Database passes consumed by Phase 3 alone.
+    probe_rounds:
+        The probe batches, in order (diagnostic; one scan each).
+    """
+
+    border: Border
+    verified: Dict[Pattern, float]
+    scans: int
+    probe_rounds: List[List[Pattern]] = field(default_factory=list)
+
+
+def layer_schedule(low: int, high: int) -> List[int]:
+    """The halfway / quarter-way / eighth-way weight order.
+
+    Given the weight range ``(low, high]`` of the ambiguous region,
+    returns the lattice levels in the order Algorithm 4.3 fills memory:
+    the halfway level first, then the halfway levels of each half, and
+    so on (breadth-first binary subdivision).
+
+    >>> layer_schedule(0, 5)
+    [3, 1, 4, 2, 5]
+    """
+    if high <= low:
+        return []
+    order: List[int] = []
+    seen: Set[int] = set()
+    queue: List[Tuple[int, int]] = [(low, high)]
+    while queue:
+        a, b = queue.pop(0)
+        if b <= a:
+            continue
+        mid = math.ceil((a + b) / 2)
+        if mid not in seen and a < mid <= high:
+            seen.add(mid)
+            order.append(mid)
+        # Subdivide strictly: (a, mid-1] below, (mid, b] above.
+        if mid - 1 > a:
+            queue.append((a, mid - 1))
+        if b > mid:
+            queue.append((mid, b))
+    # Any level not produced by subdivision (degenerate ranges) appended
+    # in natural order so the schedule always covers (low, high].
+    for level in range(low + 1, high + 1):
+        if level not in seen:
+            order.append(level)
+    return order
+
+
+def select_probe_batch(
+    undecided: Set[Pattern],
+    floor_weight: int,
+    memory_capacity: Optional[int],
+) -> List[Pattern]:
+    """Choose the probes with the highest collapsing power.
+
+    Patterns are drawn level by level following :func:`layer_schedule`
+    over the ambiguous weight range, until *memory_capacity* counters
+    are scheduled (or the region is exhausted).
+    """
+    if not undecided:
+        return []
+    by_weight: Dict[int, List[Pattern]] = {}
+    for pattern in undecided:
+        by_weight.setdefault(pattern.weight, []).append(pattern)
+    high = max(by_weight)
+    low = min(floor_weight, min(by_weight) - 1)
+    batch: List[Pattern] = []
+    budget = memory_capacity if memory_capacity is not None else len(undecided)
+    for level in layer_schedule(low, high):
+        for pattern in sorted(by_weight.get(level, [])):
+            batch.append(pattern)
+            if len(batch) >= budget:
+                return batch
+    return batch
+
+
+def collapse_borders(
+    database: AnySequenceDatabase,
+    matrix: CompatibilityMatrix,
+    min_match: float,
+    classification: SampleClassification,
+    memory_capacity: Optional[int] = None,
+) -> CollapseOutcome:
+    """Resolve every ambiguous pattern with a minimal number of scans.
+
+    Patterns the sample classified *frequent* are trusted (they hold
+    with probability ``1 - δ`` each); patterns *infrequent* on the
+    sample are trusted symmetrically.  Only the ambiguous band is probed
+    against the full database.
+    """
+    if memory_capacity is not None and memory_capacity < 1:
+        raise MiningError(
+            f"memory_capacity must be >= 1, got {memory_capacity}"
+        )
+    decided_frequent = classification.fqt.copy()
+    minimal_infrequent: Set[Pattern] = set()
+    undecided: Set[Pattern] = {
+        pattern
+        for pattern in classification.ambiguous_patterns()
+        if not decided_frequent.covers(pattern)
+    }
+    floor_weight = min(
+        (p.weight for p in decided_frequent), default=0
+    )
+
+    verified: Dict[Pattern, float] = {}
+    probe_rounds: List[List[Pattern]] = []
+    scans = 0
+    while undecided:
+        batch = select_probe_batch(undecided, floor_weight, memory_capacity)
+        probe_rounds.append(batch)
+        matches = count_matches_batched(batch, database, matrix)
+        scans += 1
+        newly_frequent: List[Pattern] = []
+        newly_infrequent: List[Pattern] = []
+        for pattern, value in matches.items():
+            verified[pattern] = value
+            if value >= min_match:
+                decided_frequent.add(pattern)
+                newly_frequent.append(pattern)
+            else:
+                minimal_infrequent.add(pattern)
+                newly_infrequent.append(pattern)
+        # Probed patterns are decided outright; the rest only need
+        # checking against this round's new decisions (earlier rounds
+        # already filtered against the older ones).
+        undecided.difference_update(batch)
+        undecided = {
+            pattern
+            for pattern in undecided
+            if not any(
+                pattern.is_subpattern_of(fresh) for fresh in newly_frequent
+            )
+            and not any(
+                killer.is_subpattern_of(pattern)
+                for killer in newly_infrequent
+            )
+        }
+    return CollapseOutcome(
+        border=decided_frequent,
+        verified=verified,
+        scans=scans,
+        probe_rounds=probe_rounds,
+    )

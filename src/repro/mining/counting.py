@@ -1,0 +1,50 @@
+"""Batched match counting under a memory budget.
+
+The paper's cost model charges one database pass per batch of pattern
+counters that fits in memory.  :func:`count_matches_batched` is the one
+place that model is enforced: every miner funnels its full-database
+counting through it, so scan counts are comparable across algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.compatibility import CompatibilityMatrix
+from ..core.match import database_matches
+from ..core.pattern import Pattern
+from ..core.sequence import AnySequenceDatabase
+from ..errors import MiningError
+
+
+def count_matches_batched(
+    patterns: Iterable[Pattern],
+    database: AnySequenceDatabase,
+    matrix: CompatibilityMatrix,
+    memory_capacity: Optional[int] = None,
+) -> Dict[Pattern, float]:
+    """Compute ``M(P, D)`` for every pattern, in as few scans as allowed.
+
+    Parameters
+    ----------
+    memory_capacity:
+        Maximum number of pattern counters held in memory during one
+        pass.  ``None`` means unbounded (everything in one scan).
+
+    The number of scans consumed is ``ceil(len(patterns) /
+    memory_capacity)`` and is observable through the database's
+    ``scan_count``.
+    """
+    unique: List[Pattern] = list(dict.fromkeys(patterns))
+    if not unique:
+        return {}
+    if memory_capacity is not None and memory_capacity < 1:
+        raise MiningError(
+            f"memory_capacity must be >= 1, got {memory_capacity}"
+        )
+    batch_size = memory_capacity or len(unique)
+    result: Dict[Pattern, float] = {}
+    for start in range(0, len(unique), batch_size):
+        batch = unique[start : start + batch_size]
+        result.update(database_matches(batch, database, matrix))
+    return result

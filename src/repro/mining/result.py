@@ -1,0 +1,189 @@
+"""Result and statistics containers shared by every miner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set
+
+from ..core.border import Border
+from ..core.pattern import Pattern
+
+
+@dataclass
+class LevelStats:
+    """Per-lattice-level accounting of a breadth-first mining pass."""
+
+    level: int
+    candidates: int
+    frequent: int
+
+    def __str__(self) -> str:
+        return (
+            f"level {self.level}: {self.candidates} candidates, "
+            f"{self.frequent} frequent"
+        )
+
+
+@dataclass
+class MiningResult:
+    """The outcome of a mining run.
+
+    Attributes
+    ----------
+    frequent:
+        Every discovered frequent pattern mapped to its (measured)
+        match in the database the miner was pointed at.
+    border:
+        The border (maximal antichain) of the frequent set.
+    scans:
+        Number of full passes over the *full* database.  Scans of the
+        in-memory sample are free by the paper's cost model and are not
+        included.
+    elapsed_seconds:
+        Wall-clock mining time.
+    level_stats:
+        Per-level candidate/frequent counts for breadth-first phases
+        (used to reproduce Figure 9).
+    extras:
+        Algorithm-specific diagnostics (e.g. number of ambiguous
+        patterns, border distances, probe batches).
+    """
+
+    frequent: Dict[Pattern, float]
+    border: Border
+    scans: int
+    elapsed_seconds: float = 0.0
+    level_stats: List[LevelStats] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def patterns(self) -> Set[Pattern]:
+        """The set of frequent patterns (keys of :attr:`frequent`)."""
+        return set(self.frequent)
+
+    def max_weight(self) -> int:
+        """Weight of the heaviest frequent pattern (0 when none)."""
+        if not self.frequent:
+            return 0
+        return max(p.weight for p in self.frequent)
+
+    def candidates_per_level(self) -> Dict[int, int]:
+        """``{level: candidate count}`` from the recorded level stats."""
+        return {s.level: s.candidates for s in self.level_stats}
+
+    def summary(self) -> str:
+        """A short human-readable account of the run."""
+        return (
+            f"{len(self.frequent)} frequent patterns "
+            f"(max weight {self.max_weight()}), "
+            f"border size {len(self.border)}, "
+            f"{self.scans} database scans, "
+            f"{self.elapsed_seconds:.3f}s"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (patterns as strings).
+
+        The inverse is :meth:`from_dict`; `extras` are omitted (they
+        hold arbitrary diagnostic objects).
+        """
+        return {
+            "frequent": {
+                pattern.to_string(): value
+                for pattern, value in sorted(self.frequent.items())
+            },
+            "border": sorted(
+                element.to_string() for element in self.border.elements
+            ),
+            "scans": self.scans,
+            "elapsed_seconds": self.elapsed_seconds,
+            "level_stats": [
+                {
+                    "level": s.level,
+                    "candidates": s.candidates,
+                    "frequent": s.frequent,
+                }
+                for s in self.level_stats
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MiningResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        frequent = {
+            _pattern_from_string(text): float(value)
+            for text, value in payload["frequent"].items()
+        }
+        return cls(
+            frequent=frequent,
+            border=Border(
+                _pattern_from_string(text) for text in payload["border"]
+            ),
+            scans=int(payload["scans"]),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            level_stats=[
+                LevelStats(
+                    level=int(s["level"]),
+                    candidates=int(s["candidates"]),
+                    frequent=int(s["frequent"]),
+                )
+                for s in payload.get("level_stats", [])
+            ],
+        )
+
+
+def _pattern_from_string(text: str) -> Pattern:
+    """Parse the index-based rendering of :meth:`Pattern.to_string`."""
+    elements = [
+        -1 if token == "*" else int(token) for token in text.split()
+    ]
+    return Pattern(elements)
+
+
+@dataclass
+class SampleClassification:
+    """Phase-2 output: the three-way split of patterns on the sample.
+
+    Attributes
+    ----------
+    fqt:
+        Border between frequent and ambiguous patterns (the paper's
+        FQT): maximal patterns whose sample match exceeds
+        ``min_match + ε``.
+    infqt:
+        Border between ambiguous and infrequent patterns (the paper's
+        INFQT): maximal patterns whose sample match exceeds
+        ``min_match - ε`` (frequent or ambiguous).
+    labels:
+        Every evaluated pattern's label (``frequent`` / ``ambiguous`` /
+        ``infrequent``).
+    sample_matches:
+        Every evaluated pattern's match on the sample.
+    epsilons:
+        The Chernoff band half-width used for each pattern (depends on
+        its restricted spread).
+    symbol_match:
+        Phase-1 per-symbol match vector over the full database.
+    """
+
+    fqt: Border
+    infqt: Border
+    labels: Dict[Pattern, str]
+    sample_matches: Dict[Pattern, float]
+    epsilons: Dict[Pattern, float]
+    symbol_match: Mapping[int, float]
+
+    def ambiguous_patterns(self) -> Set[Pattern]:
+        """All patterns labelled ambiguous on the sample."""
+        from .chernoff import AMBIGUOUS
+
+        return {p for p, label in self.labels.items() if label == AMBIGUOUS}
+
+    def frequent_patterns(self) -> Set[Pattern]:
+        """All patterns labelled frequent on the sample."""
+        from .chernoff import FREQUENT
+
+        return {p for p, label in self.labels.items() if label == FREQUENT}
+
+    def ambiguous_count(self) -> int:
+        return len(self.ambiguous_patterns())

@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's worked example (Figures 2 and 4) and
+deterministic randomness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Alphabet, CompatibilityMatrix, SequenceDatabase
+
+#: The Figure 2 compatibility matrix, C[true, observed].
+FIGURE2_VALUES = np.array(
+    [
+        [0.90, 0.10, 0.00, 0.00, 0.00],
+        [0.05, 0.80, 0.05, 0.10, 0.00],
+        [0.05, 0.00, 0.70, 0.15, 0.10],
+        [0.00, 0.10, 0.10, 0.75, 0.05],
+        [0.00, 0.00, 0.15, 0.00, 0.85],
+    ]
+)
+
+#: The Figure 4(a) toy database (0-indexed: d1 -> 0, ..., d5 -> 4).
+FIGURE4_SEQUENCES = [
+    [0, 1, 2, 0],  # d1 d2 d3 d1
+    [3, 1, 0],     # d4 d2 d1
+    [2, 3, 1, 0],  # d3 d4 d2 d1
+    [1, 1],        # d2 d2
+]
+
+
+@pytest.fixture
+def fig2_matrix() -> CompatibilityMatrix:
+    return CompatibilityMatrix(FIGURE2_VALUES)
+
+
+@pytest.fixture
+def fig4_database() -> SequenceDatabase:
+    return SequenceDatabase([list(s) for s in FIGURE4_SEQUENCES])
+
+
+@pytest.fixture
+def d_alphabet() -> Alphabet:
+    return Alphabet.numbered(5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20020601)  # SIGMOD 2002

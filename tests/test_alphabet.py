@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.alphabet."""
+
+import pytest
+
+from repro import Alphabet, AlphabetError
+from repro.core.alphabet import AMINO_ACIDS
+
+
+class TestConstruction:
+    def test_basic_round_trip(self):
+        ab = Alphabet(["x", "y", "z"])
+        assert ab.index("y") == 1
+        assert ab.symbol(1) == "y"
+        assert len(ab) == 3
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet([])
+
+    def test_duplicate_symbol_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", "b", "a"])
+
+    def test_wildcard_name_reserved(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", "*"])
+
+    def test_empty_string_symbol_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", ""])
+
+    def test_non_string_symbol_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["a", 3])
+
+    def test_accepts_generator_input(self):
+        ab = Alphabet(str(i) for i in range(4))
+        assert len(ab) == 4
+
+
+class TestFactories:
+    def test_amino_acids_has_twenty_symbols(self):
+        ab = Alphabet.amino_acids()
+        assert len(ab) == 20
+        assert ab.symbols == AMINO_ACIDS
+
+    def test_amino_acid_order_matches_blosum_convention(self):
+        ab = Alphabet.amino_acids()
+        assert ab.symbol(0) == "A"
+        assert ab.symbol(1) == "R"
+        assert ab.symbol(19) == "V"
+
+    def test_numbered_matches_paper_naming(self):
+        ab = Alphabet.numbered(5)
+        assert ab.symbols == ("d1", "d2", "d3", "d4", "d5")
+
+    def test_numbered_rejects_nonpositive(self):
+        with pytest.raises(AlphabetError):
+            Alphabet.numbered(0)
+
+    def test_numbered_custom_prefix(self):
+        ab = Alphabet.numbered(2, prefix="s")
+        assert ab.symbols == ("s1", "s2")
+
+
+class TestLookup:
+    def test_unknown_symbol_raises(self):
+        ab = Alphabet(["a"])
+        with pytest.raises(AlphabetError):
+            ab.index("b")
+
+    def test_index_out_of_range_raises(self):
+        ab = Alphabet(["a"])
+        with pytest.raises(AlphabetError):
+            ab.symbol(1)
+        with pytest.raises(AlphabetError):
+            ab.symbol(-1)
+
+    def test_encode_decode_round_trip(self):
+        ab = Alphabet.numbered(6)
+        names = ["d3", "d1", "d6"]
+        assert ab.decode(ab.encode(names)) == names
+
+    def test_contains(self):
+        ab = Alphabet(["a", "b"])
+        assert "a" in ab
+        assert "c" not in ab
+        assert 0 not in ab  # indices are not symbols
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Alphabet(["a", "b"])
+        b = Alphabet(["a", "b"])
+        c = Alphabet(["b", "a"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration_order(self):
+        ab = Alphabet(["q", "w", "e"])
+        assert list(ab) == ["q", "w", "e"]
+
+    def test_repr_small_and_large(self):
+        assert "q, w, e" in repr(Alphabet(["q", "w", "e"]))
+        big = Alphabet.numbered(50)
+        assert "m=50" in repr(big)

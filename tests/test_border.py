@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.border."""
+
+
+from repro import Border, Pattern, WILDCARD
+from repro.core.border import border_from_frequent
+
+
+class TestAntichainMaintenance:
+    def test_add_new_maximal(self):
+        border = Border()
+        assert border.add(Pattern([1, 2]))
+        assert len(border) == 1
+
+    def test_add_covered_is_noop(self):
+        border = Border([Pattern([1, 2, 3])])
+        assert not border.add(Pattern([1, 2]))
+        assert len(border) == 1
+
+    def test_add_dominating_evicts(self):
+        border = Border([Pattern([1, 2]), Pattern([4, 5])])
+        border.add(Pattern([1, 2, 3]))
+        assert Pattern([1, 2]) not in border
+        assert Pattern([1, 2, 3]) in border
+        assert Pattern([4, 5]) in border
+
+    def test_construction_normalises(self):
+        border = Border([Pattern([1]), Pattern([1, 2]), Pattern([1, 2, 3])])
+        assert border.elements == {Pattern([1, 2, 3])}
+
+    def test_incomparable_elements_coexist(self):
+        border = Border([Pattern([1, 2]), Pattern([2, 1])])
+        assert len(border) == 2
+
+    def test_update(self):
+        border = Border()
+        border.update([Pattern([1]), Pattern([2])])
+        assert len(border) == 2
+
+
+class TestCovers:
+    def test_covers_members_and_subpatterns(self):
+        border = Border([Pattern([1, 2, 3])])
+        assert border.covers(Pattern([1, 2, 3]))
+        assert border.covers(Pattern([2, 3]))
+        assert border.covers(Pattern([1, WILDCARD, 3]))
+
+    def test_does_not_cover_superpatterns_or_unrelated(self):
+        border = Border([Pattern([1, 2])])
+        assert not border.covers(Pattern([1, 2, 3]))
+        assert not border.covers(Pattern([3]))
+
+    def test_empty_border_covers_nothing(self):
+        assert not Border().covers(Pattern([1]))
+
+
+class TestDownwardClosure:
+    def test_closure_of_triangle(self):
+        border = Border([Pattern([1, 2, 3])])
+        closure = border.downward_closure()
+        # 1 full pattern + 3 weight-2 + 3 weight-1 subpatterns.
+        assert Pattern([1, 2, 3]) in closure
+        assert Pattern([1, WILDCARD, 3]) in closure
+        assert Pattern([2]) in closure
+        assert len(closure) == 7
+
+    def test_closure_is_downward_closed(self):
+        border = Border([Pattern([1, 2, 3]), Pattern([4, 1])])
+        closure = border.downward_closure()
+        for pattern in closure:
+            for sub in pattern.immediate_subpatterns():
+                assert sub in closure
+
+    def test_empty_border_closure(self):
+        assert Border().downward_closure() == set()
+
+
+class TestMisc:
+    def test_copy_is_independent(self):
+        border = Border([Pattern([1])])
+        clone = border.copy()
+        clone.add(Pattern([1, 2]))
+        assert Pattern([1]) in border
+        assert Pattern([1]) not in clone
+
+    def test_max_weight(self):
+        assert Border().max_weight() == 0
+        assert Border([Pattern([1]), Pattern([1, 2, 3])]).max_weight() == 3
+
+    def test_level_distance_identical(self):
+        border = Border([Pattern([1, 2, 3])])
+        assert border.level_distance(border) == 0.0
+
+    def test_level_distance_one_level(self):
+        final = Border([Pattern([1, 2, 3])])
+        estimated = Border([Pattern([1, 2])])
+        assert final.level_distance(estimated) == 1.0
+
+    def test_level_distance_incomparable_counts_weight(self):
+        final = Border([Pattern([7, 8])])
+        estimated = Border([Pattern([1, 2])])
+        assert final.level_distance(estimated) == 2.0
+
+    def test_level_distance_empty_self(self):
+        assert Border().level_distance(Border([Pattern([1])])) == 0.0
+
+    def test_equality(self):
+        assert Border([Pattern([1])]) == Border([Pattern([1])])
+        assert Border([Pattern([1])]) != Border([Pattern([2])])
+
+    def test_border_from_frequent(self):
+        frequent = [Pattern([1]), Pattern([2]), Pattern([1, 2]), Pattern([3])]
+        border = border_from_frequent(frequent)
+        assert border.elements == {Pattern([1, 2]), Pattern([3])}
+
+    def test_repr_contains_size(self):
+        assert "size=1" in repr(Border([Pattern([1])]))
+
+
+class TestWeightBucketing:
+    """The internal weight index must stay consistent with the set."""
+
+    def _consistent(self, border):
+        bucketed = {
+            p for bucket in border._by_weight.values() for p in bucket
+        }
+        assert bucketed == border.elements
+        for weight, bucket in border._by_weight.items():
+            assert bucket, "empty buckets must be removed"
+            assert all(p.weight == weight for p in bucket)
+
+    def test_after_mixed_operations(self):
+        border = Border()
+        border.add(Pattern([1]))
+        border.add(Pattern([1, 2]))      # evicts [1]
+        border.add(Pattern([3, 4]))
+        border.add(Pattern([1, 2, 3]))   # evicts [1, 2]
+        self._consistent(border)
+        assert border.elements == {Pattern([1, 2, 3]), Pattern([3, 4])}
+
+    def test_copy_preserves_index(self):
+        border = Border([Pattern([1, 2]), Pattern([5])])
+        clone = border.copy()
+        clone.add(Pattern([5, 6, 7]))
+        self._consistent(border)
+        self._consistent(clone)
+        assert Pattern([5]) in border
+        assert Pattern([5]) not in clone

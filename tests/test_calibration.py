@@ -1,0 +1,60 @@
+"""Unit tests for the threshold-calibration helpers."""
+
+import pytest
+
+from repro import (
+    CompatibilityMatrix,
+    MiningError,
+    Pattern,
+    WILDCARD,
+    calibrated_min_match,
+    clean_occurrence_match,
+)
+
+
+class TestCleanOccurrenceMatch:
+    def test_identity_matrix_gives_one(self):
+        identity = CompatibilityMatrix.identity(4)
+        assert clean_occurrence_match(Pattern([0, 1, 2]), identity) == 1.0
+
+    def test_product_of_diagonals(self, fig2_matrix):
+        # C(d1,d1) * C(d2,d2) = 0.9 * 0.8.
+        value = clean_occurrence_match(Pattern([0, 1]), fig2_matrix)
+        assert value == pytest.approx(0.72)
+
+    def test_wildcards_do_not_discount(self, fig2_matrix):
+        with_gap = clean_occurrence_match(
+            Pattern([0, WILDCARD, 1]), fig2_matrix
+        )
+        without = clean_occurrence_match(Pattern([0, 1]), fig2_matrix)
+        assert with_gap == pytest.approx(without)
+
+    def test_decays_with_weight(self, fig2_matrix):
+        values = [
+            clean_occurrence_match(Pattern([1] * k), fig2_matrix)
+            for k in (1, 3, 5)
+        ]
+        assert values[0] > values[1] > values[2]
+
+
+class TestCalibratedMinMatch:
+    def test_identity_matrix_keeps_threshold(self):
+        identity = CompatibilityMatrix.identity(4)
+        assert calibrated_min_match(0.2, identity, 5) == pytest.approx(0.2)
+
+    def test_uniform_noise_closed_form(self):
+        matrix = CompatibilityMatrix.uniform_noise(10, 0.2)
+        assert calibrated_min_match(0.5, matrix, 3) == pytest.approx(
+            0.5 * 0.8**3
+        )
+
+    def test_monotone_in_weight(self):
+        matrix = CompatibilityMatrix.uniform_noise(10, 0.3)
+        t1 = calibrated_min_match(0.5, matrix, 2)
+        t2 = calibrated_min_match(0.5, matrix, 6)
+        assert t2 < t1
+
+    def test_invalid_weight(self):
+        matrix = CompatibilityMatrix.identity(3)
+        with pytest.raises(MiningError):
+            calibrated_min_match(0.5, matrix, 0)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.mining.chernoff (Claims 4.1 and 4.2)."""
+
+import math
+
+import pytest
+
+from repro import MiningError, Pattern, WILDCARD, chernoff_epsilon
+from repro.mining.chernoff import (
+    AMBIGUOUS,
+    FREQUENT,
+    INFREQUENT,
+    classify_value,
+    misclassification_tail,
+    required_sample_size,
+    restricted_spread,
+)
+
+
+class TestEpsilon:
+    def test_paper_worked_value(self):
+        # Section 4: R=1, n=10000, confidence 99.99% -> eps ~ 0.0215.
+        assert chernoff_epsilon(1.0, 1e-4, 10000) == pytest.approx(
+            0.0215, abs=2e-4
+        )
+
+    def test_closed_form(self):
+        value = chernoff_epsilon(0.5, 0.01, 500)
+        expected = math.sqrt(0.25 * math.log(100) / 1000)
+        assert value == pytest.approx(expected)
+
+    def test_linear_in_spread(self):
+        # The paper: eps is linearly proportional to R (the 95% reduction
+        # example for R = 0.05).
+        full = chernoff_epsilon(1.0, 1e-4, 1000)
+        restricted = chernoff_epsilon(0.05, 1e-4, 1000)
+        assert restricted == pytest.approx(0.05 * full)
+
+    def test_decreases_with_sample_size(self):
+        values = [chernoff_epsilon(1.0, 1e-4, n) for n in (100, 1000, 10000)]
+        assert values[0] > values[1] > values[2]
+
+    def test_decreases_with_delta(self):
+        # Lower confidence (bigger delta) -> tighter band.
+        assert chernoff_epsilon(1.0, 0.1, 100) < chernoff_epsilon(
+            1.0, 1e-4, 100
+        )
+
+    def test_zero_spread_gives_zero_band(self):
+        assert chernoff_epsilon(0.0, 1e-4, 10) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(MiningError):
+            chernoff_epsilon(1.0, 0.0, 10)
+        with pytest.raises(MiningError):
+            chernoff_epsilon(1.0, 1.0, 10)
+        with pytest.raises(MiningError):
+            chernoff_epsilon(1.0, 0.5, 0)
+        with pytest.raises(MiningError):
+            chernoff_epsilon(-1.0, 0.5, 10)
+
+
+class TestRequiredSampleSize:
+    def test_inverse_of_epsilon(self):
+        n = required_sample_size(1.0, 1e-4, 0.0215)
+        assert chernoff_epsilon(1.0, 1e-4, n) <= 0.0215
+        assert chernoff_epsilon(1.0, 1e-4, n - 1) > 0.0215
+
+    def test_zero_spread_needs_one_sample(self):
+        assert required_sample_size(0.0, 1e-4, 0.01) == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(MiningError):
+            required_sample_size(1.0, 1e-4, 0.0)
+        with pytest.raises(MiningError):
+            required_sample_size(1.0, 2.0, 0.1)
+        with pytest.raises(MiningError):
+            required_sample_size(-0.1, 0.5, 0.1)
+
+
+class TestRestrictedSpread:
+    def test_minimum_of_symbol_matches(self):
+        # Paper example: match(d1)=0.1, match(d2)=0.05 -> R(d1 * d2)=0.05.
+        symbol_match = [0.1, 0.05, 0.9]
+        p = Pattern([0, WILDCARD, 1])
+        assert restricted_spread(p, symbol_match) == 0.05
+
+    def test_wildcards_ignored(self):
+        symbol_match = [0.5, 0.0]
+        p = Pattern([0, WILDCARD, 0])
+        assert restricted_spread(p, symbol_match) == 0.5
+
+    def test_repeated_symbols(self):
+        assert restricted_spread(Pattern([2, 2]), [0.1, 0.2, 0.7]) == 0.7
+
+
+class TestClassification:
+    def test_three_way_split(self):
+        assert classify_value(0.30, 0.20, 0.05) == FREQUENT
+        assert classify_value(0.22, 0.20, 0.05) == AMBIGUOUS
+        assert classify_value(0.10, 0.20, 0.05) == INFREQUENT
+
+    def test_band_boundaries_are_ambiguous(self):
+        # Claim 4.1 uses strict inequalities for the decided classes
+        # (dyadic values chosen so the boundaries are float-exact).
+        assert classify_value(0.375, 0.25, 0.125) == AMBIGUOUS
+        assert classify_value(0.125, 0.25, 0.125) == AMBIGUOUS
+
+    def test_zero_band_decides_everything(self):
+        assert classify_value(0.21, 0.20, 0.0) == FREQUENT
+        assert classify_value(0.19, 0.20, 0.0) == INFREQUENT
+
+
+class TestMisclassificationTail:
+    def test_quartic_decay(self):
+        # Section 4: P(dis > 2 rho) = P(dis > rho)^4.
+        base = misclassification_tail(0.1, 1.0)
+        doubled = misclassification_tail(0.1, 2.0)
+        assert doubled == pytest.approx(base**4)
+
+    def test_zero_distance_is_delta_power_zero(self):
+        assert misclassification_tail(0.1, 0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(MiningError):
+            misclassification_tail(0.1, -1.0)

@@ -1,0 +1,216 @@
+"""End-to-end tests for the noisymine command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def generated(tmp_path):
+    path = tmp_path / "db.txt"
+    code = main([
+        "generate", str(path),
+        "--sequences", "120",
+        "--length", "25",
+        "--alphabet", "10",
+        "--motif-weight", "4",
+        "--motifs", "1",
+        "--motif-frequency", "0.6",
+        "--noise", "0.1",
+        "--seed", "42",
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_both_files(self, generated, capsys):
+        assert generated.exists()
+        assert generated.with_name("db.txt.noisy").exists()
+
+    def test_output_mentions_motifs(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        main(["generate", str(path), "--sequences", "10", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "planted motif" in out
+        assert "wrote 10 sequences" in out
+
+    def test_custom_noisy_output_path(self, tmp_path):
+        path = tmp_path / "g.txt"
+        noisy = tmp_path / "custom.txt"
+        main([
+            "generate", str(path), "--sequences", "10",
+            "--noise", "0.2", "--noisy-output", str(noisy), "--seed", "1",
+        ])
+        assert noisy.exists()
+
+
+class TestMine:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["border-collapsing", "levelwise", "maxminer", "toivonen",
+         "pincer", "depthfirst"],
+    )
+    def test_all_algorithms_run(self, generated, capsys, algorithm):
+        code = main([
+            "mine", str(generated),
+            "--alphabet", "10",
+            "--min-match", "0.5",
+            "--algorithm", algorithm,
+            "--max-weight", "5",
+            "--max-span", "5",
+            "--seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frequent patterns" in out
+
+    def test_json_output_parses(self, generated, capsys):
+        code = main([
+            "mine", str(generated),
+            "--alphabet", "10",
+            "--min-match", "0.5",
+            "--max-weight", "5",
+            "--max-span", "5",
+            "--seed", "7",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "border-collapsing"
+        assert payload["scans"] >= 1
+        assert isinstance(payload["patterns"], dict)
+
+    def test_noise_flag_builds_uniform_matrix(self, generated, capsys):
+        code = main([
+            "mine", str(generated.with_name("db.txt.noisy")),
+            "--alphabet", "10",
+            "--min-match", "0.3",
+            "--noise", "0.1",
+            "--max-weight", "4",
+            "--max-span", "4",
+            "--sample-size", "90",
+            "--delta", "0.05",
+            "--seed", "7",
+        ])
+        assert code == 0
+
+    def test_missing_file_is_graceful_error(self, tmp_path, capsys):
+        code = main([
+            "mine", str(tmp_path / "missing.txt"),
+            "--alphabet", "5",
+            "--min-match", "0.5",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_round_trip(self, generated, tmp_path, capsys):
+        clean_json = tmp_path / "clean.json"
+        noisy_json = tmp_path / "noisy.json"
+        for path, source, noise in [
+            (clean_json, generated, "0"),
+            (noisy_json, generated.with_name("db.txt.noisy"), "0.1"),
+        ]:
+            main([
+                "mine", str(source),
+                "--alphabet", "10",
+                "--min-match", "0.4",
+                "--noise", noise,
+                "--max-weight", "4",
+                "--max-span", "4",
+                "--seed", "7",
+                "--json",
+            ])
+            path.write_text(capsys.readouterr().out)
+        code = main(["evaluate", str(noisy_json), str(clean_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy=" in out
+        assert "completeness=" in out
+
+
+class TestErrorHandling:
+    def test_evaluate_missing_file(self, tmp_path, capsys):
+        code = main([
+            "evaluate", str(tmp_path / "a.json"), str(tmp_path / "b.json"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_evaluate_invalid_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["evaluate", str(bad), str(bad)])
+        assert code == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_generate_to_unwritable_path(self, tmp_path, capsys):
+        code = main([
+            "generate", str(tmp_path / "no" / "such" / "dir" / "db.txt"),
+            "--sequences", "5", "--seed", "1",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFastaInput:
+    def test_mine_fasta_end_to_end(self, tmp_path, capsys):
+        from repro import Alphabet, Pattern, SequenceDatabase
+        from repro.datagen.fasta import write_fasta
+        from repro.datagen.motifs import Motif
+        from repro.datagen.synthetic import protein_like_database
+        import numpy as np
+
+        ab = Alphabet.amino_acids()
+        motif = Motif(Pattern.parse("A M T K", ab), frequency=0.7)
+        db = protein_like_database(
+            80, 25, [motif], rng=np.random.default_rng(3)
+        )
+        path = tmp_path / "proteins.fasta"
+        write_fasta(db, path)
+        code = main([
+            "mine", str(path),
+            "--format", "fasta",
+            "--min-match", "0.5",
+            "--algorithm", "levelwise",
+            "--max-weight", "4",
+            "--max-span", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frequent patterns" in out
+
+    def test_text_format_requires_alphabet(self, generated, capsys):
+        code = main([
+            "mine", str(generated),
+            "--min-match", "0.5",
+        ])
+        assert code == 2
+        assert "--alphabet is required" in capsys.readouterr().err
+
+
+class TestResultSerialization:
+    def test_json_round_trips_through_mining_result(self, generated, capsys):
+        import json as _json
+        from repro import MiningResult
+
+        main([
+            "mine", str(generated),
+            "--alphabet", "10",
+            "--min-match", "0.5",
+            "--algorithm", "levelwise",
+            "--max-weight", "4",
+            "--max-span", "4",
+            "--json",
+        ])
+        payload = _json.loads(capsys.readouterr().out)
+        payload["frequent"] = payload.pop("patterns")
+        rebuilt = MiningResult.from_dict(payload)
+        assert rebuilt.scans == payload["scans"]
+        assert len(rebuilt.frequent) == len(payload["frequent"])
+        for pattern in rebuilt.frequent:
+            assert rebuilt.border.covers(pattern)

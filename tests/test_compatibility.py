@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.compatibility (Definition 3.4, Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro import CompatibilityMatrix, CompatibilityMatrixError
+from repro.core.compatibility import compatibility_from_channel
+from tests.conftest import FIGURE2_VALUES
+
+
+class TestValidation:
+    def test_figure2_matrix_is_valid(self):
+        matrix = CompatibilityMatrix(FIGURE2_VALUES)
+        assert matrix.size == 5
+
+    def test_non_square_rejected(self):
+        with pytest.raises(CompatibilityMatrixError):
+            CompatibilityMatrix(np.ones((2, 3)) / 2)
+
+    def test_column_not_summing_to_one_rejected(self):
+        bad = np.eye(3)
+        bad[0, 0] = 0.5
+        with pytest.raises(CompatibilityMatrixError, match="sum to 1"):
+            CompatibilityMatrix(bad)
+
+    def test_negative_entry_rejected(self):
+        bad = np.eye(2)
+        bad[0, 0] = 1.5
+        bad[1, 0] = -0.5
+        with pytest.raises(CompatibilityMatrixError):
+            CompatibilityMatrix(bad)
+
+    def test_nan_rejected(self):
+        bad = np.eye(2)
+        bad[0, 0] = np.nan
+        with pytest.raises(CompatibilityMatrixError):
+            CompatibilityMatrix(bad)
+
+    def test_array_is_read_only(self):
+        matrix = CompatibilityMatrix.identity(3)
+        with pytest.raises(ValueError):
+            matrix.array[0, 0] = 0.5
+
+
+class TestConstructors:
+    def test_identity_is_support_model(self):
+        matrix = CompatibilityMatrix.identity(4)
+        assert matrix.is_identity()
+        assert matrix.prob(2, 2) == 1.0
+        assert matrix.prob(2, 3) == 0.0
+
+    def test_uniform_noise_closed_form(self):
+        matrix = CompatibilityMatrix.uniform_noise(20, 0.2)
+        assert matrix.prob(0, 0) == pytest.approx(0.8)
+        assert matrix.prob(0, 1) == pytest.approx(0.2 / 19)
+
+    def test_uniform_noise_zero_alpha_is_identity(self):
+        assert CompatibilityMatrix.uniform_noise(5, 0.0).is_identity()
+
+    def test_uniform_noise_bad_alpha(self):
+        with pytest.raises(CompatibilityMatrixError):
+            CompatibilityMatrix.uniform_noise(5, 1.5)
+        with pytest.raises(CompatibilityMatrixError):
+            CompatibilityMatrix.uniform_noise(5, -0.1)
+
+    def test_uniform_noise_needs_two_symbols(self):
+        with pytest.raises(CompatibilityMatrixError):
+            CompatibilityMatrix.uniform_noise(1, 0.1)
+
+    def test_pure_noise_uniform_columns(self):
+        matrix = CompatibilityMatrix.pure_noise(4)
+        assert np.allclose(matrix.array, 0.25)
+
+    def test_random_sparse_is_column_stochastic(self, rng):
+        matrix = CompatibilityMatrix.random_sparse(30, 0.1, rng=rng)
+        assert np.allclose(matrix.array.sum(axis=0), 1.0)
+
+    def test_random_sparse_density_near_request(self, rng):
+        # ~10% of the off-diagonal plus the diagonal itself.
+        m = 50
+        matrix = CompatibilityMatrix.random_sparse(m, 0.1, rng=rng)
+        expected = (1 + round(0.1 * (m - 1))) / m
+        assert matrix.density() == pytest.approx(expected, rel=0.01)
+
+    def test_random_sparse_zero_fraction_is_identity(self, rng):
+        matrix = CompatibilityMatrix.random_sparse(5, 0.0, rng=rng)
+        assert matrix.is_identity()
+
+
+class TestPerturbed:
+    """The Figure 8 error-injection procedure."""
+
+    def test_columns_still_sum_to_one(self, fig2_matrix, rng):
+        noisy = fig2_matrix.perturbed(0.10, rng)
+        assert np.allclose(noisy.array.sum(axis=0), 1.0)
+
+    def test_zero_error_is_identity_operation(self, fig2_matrix, rng):
+        same = fig2_matrix.perturbed(0.0, rng)
+        assert same == fig2_matrix
+
+    def test_diagonal_moves_by_requested_fraction(self, rng):
+        matrix = CompatibilityMatrix.uniform_noise(10, 0.3)
+        noisy = matrix.perturbed(0.10, rng)
+        for j in range(10):
+            ratio = noisy.prob(j, j) / matrix.prob(j, j)
+            assert ratio == pytest.approx(1.1) or ratio == pytest.approx(0.9)
+
+    def test_point_mass_column_spread(self, rng):
+        noisy = CompatibilityMatrix.identity(4).perturbed(0.2, rng)
+        assert np.allclose(noisy.array.sum(axis=0), 1.0)
+        # Diagonal cannot exceed 1 even when "increased".
+        assert np.all(noisy.array <= 1.0)
+
+    def test_negative_error_rejected(self, fig2_matrix, rng):
+        with pytest.raises(CompatibilityMatrixError):
+            fig2_matrix.perturbed(-0.1, rng)
+
+
+class TestBayesInversion:
+    def test_uniform_channel_uniform_prior_matches_closed_form(self):
+        from repro.datagen.noise import uniform_channel
+
+        alpha, m = 0.2, 8
+        inverted = compatibility_from_channel(uniform_channel(m, alpha))
+        closed = CompatibilityMatrix.uniform_noise(m, alpha)
+        assert np.allclose(inverted.array, closed.array)
+
+    def test_nonuniform_prior_shifts_posterior(self):
+        from repro.datagen.noise import uniform_channel
+
+        channel = uniform_channel(3, 0.3)
+        priors = [0.6, 0.3, 0.1]
+        posterior = compatibility_from_channel(channel, priors)
+        # A popular true symbol claims more posterior mass in every column.
+        assert posterior.prob(0, 1) > posterior.prob(2, 1)
+        assert np.allclose(posterior.array.sum(axis=0), 1.0)
+
+    def test_rows_must_be_stochastic(self):
+        with pytest.raises(CompatibilityMatrixError):
+            compatibility_from_channel(np.ones((3, 3)))
+
+    def test_bad_priors_rejected(self):
+        from repro.datagen.noise import uniform_channel
+
+        channel = uniform_channel(3, 0.1)
+        with pytest.raises(CompatibilityMatrixError):
+            compatibility_from_channel(channel, [0.5, 0.5])  # wrong length
+        with pytest.raises(CompatibilityMatrixError):
+            compatibility_from_channel(channel, [0.9, 0.2, -0.1])
+
+    def test_asymmetry_survives_inversion(self):
+        # Compatibility need not be symmetric (paper: C(d1,d2) != C(d2,d1)).
+        channel = np.array(
+            [[0.9, 0.1, 0.0], [0.0, 0.9, 0.1], [0.1, 0.0, 0.9]]
+        )
+        posterior = compatibility_from_channel(channel)
+        assert posterior.prob(0, 1) != posterior.prob(1, 0)
+
+
+class TestAccessors:
+    def test_row_and_column_views(self, fig2_matrix):
+        assert fig2_matrix.column(0).sum() == pytest.approx(1.0)
+        assert fig2_matrix.row(0)[1] == pytest.approx(0.1)
+
+    def test_equality_and_hash(self):
+        a = CompatibilityMatrix.identity(3)
+        b = CompatibilityMatrix.identity(3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CompatibilityMatrix.pure_noise(3)
+
+    def test_repr_mentions_size(self, fig2_matrix):
+        assert "m=5" in repr(fig2_matrix)

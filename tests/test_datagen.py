@@ -1,0 +1,283 @@
+"""Unit tests for repro.datagen: motifs, synthetic databases, noise
+channels and the BLOSUM50 machinery."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompatibilityMatrix,
+    NoisyMineError,
+    Pattern,
+    SequenceDatabase,
+    WILDCARD,
+)
+from repro.core.alphabet import Alphabet
+from repro.datagen.blosum import (
+    amino_acid_alphabet,
+    blosum50_channel,
+    blosum50_compatibility,
+    blosum50_matrix,
+)
+from repro.datagen.motifs import Motif, parse_motif, plant, random_motif
+from repro.datagen.noise import (
+    corrupt_database,
+    corrupt_uniform,
+    uniform_channel,
+    uniform_noise_setup,
+)
+from repro.datagen.synthetic import (
+    AMINO_ACID_COMPOSITION,
+    generate_database,
+    protein_like_database,
+    scalability_database,
+)
+
+
+class TestMotif:
+    def test_frequency_validation(self):
+        with pytest.raises(NoisyMineError):
+            Motif(Pattern([1]), 0.0)
+        with pytest.raises(NoisyMineError):
+            Motif(Pattern([1]), 1.5)
+
+    def test_span(self):
+        assert Motif(Pattern([1, WILDCARD, 2]), 0.5).span == 3
+
+    def test_plant_writes_fixed_positions(self, rng):
+        motif = Motif(Pattern([7, WILDCARD, 8]), 1.0)
+        seq = np.zeros(10, dtype=np.int32)
+        plant(seq, motif, rng)
+        positions = np.flatnonzero(seq == 7)
+        assert len(positions) == 1
+        start = positions[0]
+        assert seq[start + 2] == 8
+        assert seq[start + 1] == 0  # wildcard keeps background
+
+    def test_plant_too_short_rejected(self, rng):
+        motif = Motif(Pattern([1, 2, 3]), 1.0)
+        with pytest.raises(NoisyMineError):
+            plant(np.zeros(2, dtype=np.int32), motif, rng)
+
+    def test_random_motif_structure(self, rng):
+        motif = random_motif(5, 10, 0.3, rng)
+        assert motif.pattern.weight == 5
+        assert motif.frequency == 0.3
+        assert all(
+            0 <= e < 10 or e == WILDCARD for e in motif.pattern.elements
+        )
+
+    def test_random_motif_with_gaps(self, rng):
+        motif = random_motif(
+            8, 10, 0.3, rng, gap_probability=1.0, max_gap=2
+        )
+        assert motif.pattern.max_gap() >= 1
+
+    def test_random_motif_validation(self, rng):
+        with pytest.raises(NoisyMineError):
+            random_motif(0, 10, 0.5, rng)
+        with pytest.raises(NoisyMineError):
+            random_motif(3, 0, 0.5, rng)
+
+    def test_parse_motif(self):
+        ab = Alphabet.amino_acids()
+        motif = parse_motif("C * * C H", 0.4, ab)
+        assert motif.pattern.weight == 3
+        assert motif.frequency == 0.4
+
+
+class TestGenerateDatabase:
+    def test_shape(self, rng):
+        db = generate_database(30, 40, 6, rng=rng)
+        assert len(db) == 30
+        assert 25 <= db.average_length() <= 55
+        assert db.max_symbol() < 6
+
+    def test_planted_motif_frequency(self, rng):
+        motif = Motif(Pattern([1, 2, 3, 4]), frequency=0.5)
+        db = generate_database(400, 30, 12, [motif], rng=rng)
+        hits = 0
+        for _sid, seq in db.scan():
+            text = list(int(v) for v in seq)
+            found = any(
+                text[i : i + 4] == [1, 2, 3, 4]
+                for i in range(len(text) - 3)
+            )
+            hits += int(found)
+        # ~50% planted plus a small chance-occurrence lift.
+        assert 0.42 <= hits / 400 <= 0.65
+
+    def test_length_jitter_zero_is_constant_length(self, rng):
+        db = generate_database(10, 30, 5, rng=rng, length_jitter=0.0)
+        lengths = {len(db.sequence(i)) for i in db.ids}
+        assert len(lengths) == 1
+
+    def test_sequences_at_least_motif_span(self, rng):
+        motif = Motif(Pattern([1] * 8), frequency=1.0)
+        db = generate_database(20, 8, 5, [motif], rng=rng)
+        assert all(len(db.sequence(i)) >= 8 for i in db.ids)
+
+    def test_composition_respected(self, rng):
+        composition = [0.7, 0.1, 0.1, 0.1]
+        db = generate_database(
+            50, 100, 4, rng=rng, composition=composition
+        )
+        counts = np.zeros(4)
+        for _sid, seq in db.scan():
+            for v in seq:
+                counts[int(v)] += 1
+        freqs = counts / counts.sum()
+        assert freqs[0] == pytest.approx(0.7, abs=0.05)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(NoisyMineError):
+            generate_database(0, 10, 5, rng=rng)
+        with pytest.raises(NoisyMineError):
+            generate_database(5, 0, 5, rng=rng)
+        with pytest.raises(NoisyMineError):
+            generate_database(5, 10, 5, rng=rng, length_jitter=1.0)
+        with pytest.raises(NoisyMineError):
+            generate_database(5, 10, 4, rng=rng, composition=[1.0, 0.0])
+
+    def test_protein_like_database(self, rng):
+        db = protein_like_database(20, 50, rng=rng)
+        assert db.max_symbol() < 20
+        # Published composition fractions sum to ~1 (generator
+        # normalises internally).
+        assert abs(sum(AMINO_ACID_COMPOSITION) - 1.0) < 2e-3
+
+    def test_scalability_database(self, rng):
+        db, motifs = scalability_database(
+            50, 40, 60, n_motifs=2, rng=rng
+        )
+        assert len(db) == 40
+        assert len(motifs) == 2
+        assert all(m.pattern.weight == 6 for m in motifs)
+
+
+class TestUniformNoise:
+    def test_channel_shape_and_rows(self):
+        q = uniform_channel(10, 0.3)
+        assert q.shape == (10, 10)
+        assert np.allclose(q.sum(axis=1), 1.0)
+        assert q[0, 0] == pytest.approx(0.7)
+
+    def test_channel_validation(self):
+        with pytest.raises(NoisyMineError):
+            uniform_channel(1, 0.1)
+        with pytest.raises(NoisyMineError):
+            uniform_channel(5, -0.2)
+
+    def test_corrupt_uniform_flip_rate(self, rng):
+        db = SequenceDatabase([[0] * 1000])
+        noisy = corrupt_uniform(db, 10, 0.3, rng)
+        flipped = int((noisy.sequence(0) != 0).sum())
+        assert flipped / 1000 == pytest.approx(0.3, abs=0.05)
+
+    def test_corrupt_uniform_flips_to_other_symbols(self, rng):
+        db = SequenceDatabase([[2] * 500])
+        noisy = corrupt_uniform(db, 5, 1.0, rng)
+        assert not np.any(noisy.sequence(0) == 2)
+        assert set(np.unique(noisy.sequence(0))) <= {0, 1, 3, 4}
+
+    def test_corrupt_zero_alpha_is_identity(self, rng):
+        db = SequenceDatabase([[1, 2, 3]])
+        noisy = corrupt_uniform(db, 5, 0.0, rng)
+        assert list(noisy.sequence(0)) == [1, 2, 3]
+
+    def test_corrupt_preserves_ids_and_lengths(self, rng):
+        db = SequenceDatabase([[1, 2], [3, 4, 0]], ids=[7, 9])
+        noisy = corrupt_uniform(db, 5, 0.5, rng)
+        assert noisy.ids == (7, 9)
+        assert len(noisy.sequence(9)) == 3
+
+    def test_setup_bundles_matrix(self, rng):
+        db = SequenceDatabase([[0, 1], [2, 3]])
+        setup = uniform_noise_setup(db, 5, 0.2, rng)
+        assert setup.matrix.prob(0, 0) == pytest.approx(0.8)
+        assert setup.alpha == 0.2
+        assert len(setup.test) == 2
+
+    def test_setup_zero_alpha_identity_matrix(self, rng):
+        db = SequenceDatabase([[0, 1]])
+        setup = uniform_noise_setup(db, 5, 0.0, rng)
+        assert setup.matrix.is_identity()
+
+
+class TestCorruptDatabase:
+    def test_general_channel_statistics(self, rng):
+        channel = np.array([
+            [0.5, 0.5, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ])
+        db = SequenceDatabase([[0] * 2000])
+        noisy = corrupt_database(db, channel, rng)
+        values, counts = np.unique(noisy.sequence(0), return_counts=True)
+        fractions = dict(zip(values.tolist(), (counts / 2000).tolist()))
+        assert fractions[0] == pytest.approx(0.5, abs=0.05)
+        assert fractions[1] == pytest.approx(0.5, abs=0.05)
+        assert 2 not in fractions
+
+    def test_rejects_bad_channel(self, rng):
+        db = SequenceDatabase([[0]])
+        with pytest.raises(NoisyMineError):
+            corrupt_database(db, np.ones((2, 2)), rng)
+        with pytest.raises(NoisyMineError):
+            corrupt_database(db, np.ones((2, 3)) / 3, rng)
+
+    def test_rejects_out_of_range_symbols(self, rng):
+        db = SequenceDatabase([[5]])
+        with pytest.raises(NoisyMineError):
+            corrupt_database(db, uniform_channel(3, 0.1), rng)
+
+
+class TestBlosum:
+    def test_scores_are_symmetric(self):
+        scores = blosum50_matrix()
+        assert np.array_equal(scores, scores.T)
+
+    def test_diagonal_positive(self):
+        scores = blosum50_matrix()
+        assert np.all(np.diag(scores) >= 5)
+
+    def test_known_biological_pairs_score_high(self):
+        # The mutations from the paper's Figure 1: N->D, K->R, V->I.
+        ab = amino_acid_alphabet()
+        scores = blosum50_matrix()
+
+        def score(a, b):
+            return scores[ab.index(a), ab.index(b)]
+
+        assert score("N", "D") > 0
+        assert score("K", "R") > 0
+        assert score("V", "I") > 0
+        # A biologically distant pair scores below them.
+        assert score("C", "P") < score("N", "D")
+
+    def test_channel_is_row_stochastic(self):
+        q = blosum50_channel(0.2)
+        assert np.allclose(q.sum(axis=1), 1.0)
+        assert np.all(np.diag(q) == pytest.approx(0.8))
+
+    def test_channel_prefers_compatible_mutations(self):
+        ab = amino_acid_alphabet()
+        q = blosum50_channel(0.2, temperature=2.0)
+        n, d, p = ab.index("N"), ab.index("D"), ab.index("P")
+        assert q[n, d] > q[n, p]
+
+    def test_channel_validation(self):
+        with pytest.raises(NoisyMineError):
+            blosum50_channel(1.0)
+        with pytest.raises(NoisyMineError):
+            blosum50_channel(0.2, temperature=0.0)
+
+    def test_compatibility_is_valid_matrix(self):
+        matrix = blosum50_compatibility(0.2)
+        assert isinstance(matrix, CompatibilityMatrix)
+        assert matrix.size == 20
+        assert np.allclose(matrix.array.sum(axis=0), 1.0)
+
+    def test_compatibility_diagonal_dominates(self):
+        matrix = blosum50_compatibility(0.15)
+        diag = np.diag(matrix.array)
+        assert np.all(diag > 0.5)

@@ -1,0 +1,99 @@
+"""Unit tests for the depth-first projection-based miner."""
+
+import pytest
+
+from repro import (
+    CompatibilityMatrix,
+    LevelwiseMiner,
+    MiningError,
+    Pattern,
+    PatternConstraints,
+    SequenceDatabase,
+)
+from repro.mining.depthfirst import DepthFirstMiner
+from repro.datagen.motifs import Motif
+from repro.datagen.noise import corrupt_uniform
+from repro.datagen.synthetic import generate_database
+
+
+class TestAgreementWithExactMiner:
+    def test_toy_database(self, fig2_matrix, fig4_database):
+        constraints = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        exact = LevelwiseMiner(
+            fig2_matrix, 0.2, constraints=constraints
+        ).mine(fig4_database)
+        fig4_database.reset_scan_count()
+        depth = DepthFirstMiner(
+            fig2_matrix, 0.2, constraints=constraints
+        ).mine(fig4_database)
+        assert depth.patterns == exact.patterns
+        for pattern, value in exact.frequent.items():
+            assert depth.frequent[pattern] == pytest.approx(value)
+
+    def test_planted_motif_with_noise(self, rng):
+        motif = Motif(Pattern([1, 2, 3, 4, 5]), frequency=0.6)
+        db = generate_database(150, 20, 10, [motif], rng=rng)
+        noisy = corrupt_uniform(db, 10, 0.1, rng)
+        matrix = CompatibilityMatrix.uniform_noise(10, 0.1)
+        constraints = PatternConstraints(max_weight=6, max_span=7, max_gap=0)
+        exact = LevelwiseMiner(
+            matrix, 0.3, constraints=constraints
+        ).mine(noisy)
+        noisy.reset_scan_count()
+        depth = DepthFirstMiner(
+            matrix, 0.3, constraints=constraints
+        ).mine(noisy)
+        assert depth.patterns == exact.patterns
+
+    def test_gapped_patterns(self, rng):
+        motif = Motif(Pattern([1, -1, 2, 3]), frequency=0.7)
+        db = generate_database(120, 15, 8, [motif], rng=rng)
+        matrix = CompatibilityMatrix.identity(8)
+        constraints = PatternConstraints(max_weight=4, max_span=6, max_gap=1)
+        exact = LevelwiseMiner(matrix, 0.5, constraints=constraints).mine(db)
+        db.reset_scan_count()
+        depth = DepthFirstMiner(matrix, 0.5, constraints=constraints).mine(db)
+        assert depth.patterns == exact.patterns
+
+
+class TestCostProfile:
+    def test_single_scan(self, fig2_matrix, fig4_database):
+        result = DepthFirstMiner(fig2_matrix, 0.3).mine(fig4_database)
+        assert result.scans == 1  # the materialising pass
+
+    def test_reports_nodes_visited(self, fig2_matrix, fig4_database):
+        result = DepthFirstMiner(fig2_matrix, 0.3).mine(fig4_database)
+        assert result.extras["nodes_visited"] > 0
+
+    def test_high_threshold_prunes_subtrees(self, fig2_matrix, fig4_database):
+        loose = DepthFirstMiner(fig2_matrix, 0.1).mine(fig4_database)
+        fig4_database.reset_scan_count()
+        tight = DepthFirstMiner(fig2_matrix, 0.6).mine(fig4_database)
+        assert (
+            tight.extras["nodes_visited"] <= loose.extras["nodes_visited"]
+        )
+
+    def test_invalid_threshold(self, fig2_matrix):
+        with pytest.raises(MiningError):
+            DepthFirstMiner(fig2_matrix, 0.0)
+
+
+class TestProjectionSemantics:
+    def test_projection_match_equals_direct(self, fig2_matrix):
+        # The retained window products reproduce the direct match.
+        from repro.core.match import database_match
+
+        db = SequenceDatabase([[0, 1, 2, 0], [1, 1, 3]])
+        miner = DepthFirstMiner(fig2_matrix, 0.01)
+        result = miner.mine(db)
+        for pattern, value in result.frequent.items():
+            db.reset_scan_count()
+            assert database_match(pattern, db, fig2_matrix) == (
+                pytest.approx(value)
+            )
+
+    def test_short_sequences_dropped_from_projection(self, fig2_matrix):
+        db = SequenceDatabase([[0, 1, 2], [0]])
+        result = DepthFirstMiner(fig2_matrix, 0.05).mine(db)
+        # Pattern 0 1 matches only the first sequence -> match 0.36.
+        assert result.frequent[Pattern([0, 1])] == pytest.approx(0.36)

@@ -1,0 +1,33 @@
+"""Run every docstring example in the library as a test.
+
+Keeps the examples in API docstrings honest: if a signature or a value
+changes, the stale example fails here rather than misleading a reader.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_docstring_examples(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        raise_on_error=False,
+    )
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

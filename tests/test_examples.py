@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts.
+
+Only the quickstart runs inside the unit suite (the domain examples
+mine full synthetic databases and take tens of seconds; they are
+exercised manually and in CI's long lane).  The others are checked for
+import-time validity so a syntax or import regression fails fast.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs_and_reproduces_paper_values():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    out = completed.stdout
+    # The paper's numbers appear in the output.
+    assert "support (exact occurrences) = 0.000" in out
+    assert "match   (noise-aware)       = 0.070" in out
+    assert "d2 d1" in out  # the strongest 2-pattern of Figure 4(c)
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "protein_motifs.py",
+        "system_events.py",
+        "retail_sessions.py",
+        "long_patterns.py",
+    ],
+)
+def test_examples_compile(script):
+    """Each example must at least parse and resolve its imports."""
+    path = EXAMPLES_DIR / script
+    source = path.read_text()
+    compile(source, str(path), "exec")
+    # Import without executing main(): every example guards on __main__.
+    spec = importlib.util.spec_from_file_location(script[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main")

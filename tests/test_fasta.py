@@ -1,0 +1,151 @@
+"""Unit tests for FASTA import/export."""
+
+import pytest
+
+from repro import Alphabet, SequenceDatabase, SequenceDatabaseError
+from repro.datagen.fasta import read_fasta, write_fasta
+
+
+@pytest.fixture
+def fasta_file(tmp_path):
+    path = tmp_path / "proteins.fasta"
+    path.write_text(
+        ">sp|P1|TEST first protein\n"
+        "AMTKYQ\n"
+        "VCEBRH\n".replace("B", "R")  # keep residues standard
+        + ">P2\n"
+        "amtky\n"  # lowercase accepted
+        "; a comment line\n"
+        ">P3\n"
+        "WWWW\n"
+    )
+    return path
+
+
+class TestRead:
+    def test_basic_parse(self, fasta_file):
+        db, headers = read_fasta(fasta_file)
+        assert len(db) == 3
+        assert headers == ["sp|P1|TEST", "P2", "P3"]
+
+    def test_wrapped_lines_joined(self, fasta_file):
+        db, _headers = read_fasta(fasta_file)
+        assert len(db.sequence(0)) == 12
+
+    def test_lowercase_upcased(self, fasta_file):
+        db, _headers = read_fasta(fasta_file)
+        ab = Alphabet.amino_acids()
+        assert list(db.sequence(1)) == ab.encode(list("AMTKY"))
+
+    def test_unknown_residue_errors_by_default(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text(">x\nAMXTK\n")
+        with pytest.raises(SequenceDatabaseError, match="non-standard"):
+            read_fasta(path)
+
+    def test_skip_residue_policy(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text(">x\nAMXTK\n")
+        db, _headers = read_fasta(path, on_unknown="skip_residue")
+        assert len(db.sequence(0)) == 4
+
+    def test_skip_sequence_policy(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text(">x\nAMXTK\n>y\nAMTK\n")
+        db, headers = read_fasta(path, on_unknown="skip_sequence")
+        assert headers == ["y"]
+        assert len(db) == 1
+
+    def test_invalid_policy_rejected(self, fasta_file):
+        with pytest.raises(SequenceDatabaseError):
+            read_fasta(fasta_file, on_unknown="explode")
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("AMTK\n>x\nAMTK\n")
+        with pytest.raises(SequenceDatabaseError, match="before the first"):
+            read_fasta(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.fasta"
+        path.write_text("; nothing here\n")
+        with pytest.raises(SequenceDatabaseError, match="no usable"):
+            read_fasta(path)
+
+    def test_custom_alphabet(self, tmp_path):
+        path = tmp_path / "dna.fasta"
+        path.write_text(">x\nACGT\n")
+        dna = Alphabet(["A", "C", "G", "T"])
+        db, _headers = read_fasta(path, alphabet=dna)
+        assert list(db.sequence(0)) == [0, 1, 2, 3]
+
+
+class TestWriteRoundTrip:
+    def test_round_trip(self, tmp_path):
+        ab = Alphabet.amino_acids()
+        db = SequenceDatabase(
+            [ab.encode(list("AMTKYQ")), ab.encode(list("WYV"))]
+        )
+        path = tmp_path / "out.fasta"
+        write_fasta(db, path)
+        loaded, headers = read_fasta(path)
+        assert headers == ["seq0", "seq1"]
+        assert list(loaded.sequence(0)) == list(db.sequence(0))
+        assert list(loaded.sequence(1)) == list(db.sequence(1))
+
+    def test_line_wrapping(self, tmp_path):
+        ab = Alphabet.amino_acids()
+        db = SequenceDatabase([ab.encode(list("A" * 130))])
+        path = tmp_path / "wrap.fasta"
+        write_fasta(db, path, line_width=50)
+        body = [
+            line for line in path.read_text().splitlines()
+            if not line.startswith(">")
+        ]
+        assert [len(line) for line in body] == [50, 50, 30]
+
+    def test_custom_headers(self, tmp_path):
+        ab = Alphabet.amino_acids()
+        db = SequenceDatabase([ab.encode(list("AM"))])
+        path = tmp_path / "h.fasta"
+        write_fasta(db, path, headers=["myprotein"])
+        assert path.read_text().startswith(">myprotein\n")
+
+    def test_header_count_mismatch(self, tmp_path):
+        ab = Alphabet.amino_acids()
+        db = SequenceDatabase([ab.encode(list("AM"))])
+        with pytest.raises(SequenceDatabaseError):
+            write_fasta(db, tmp_path / "x.fasta", headers=["a", "b"])
+
+    def test_invalid_line_width(self, tmp_path):
+        ab = Alphabet.amino_acids()
+        db = SequenceDatabase([ab.encode(list("AM"))])
+        with pytest.raises(SequenceDatabaseError):
+            write_fasta(db, tmp_path / "x.fasta", line_width=0)
+
+
+class TestMiningFromFasta:
+    def test_end_to_end(self, tmp_path, rng):
+        """Generate -> FASTA -> read -> mine: the full protein workflow."""
+        from repro import (
+            CompatibilityMatrix,
+            LevelwiseMiner,
+            Pattern,
+            PatternConstraints,
+        )
+        from repro.datagen.motifs import Motif
+        from repro.datagen.synthetic import protein_like_database
+
+        ab = Alphabet.amino_acids()
+        motif = Motif(Pattern.parse("A M T K", ab), frequency=0.7)
+        db = protein_like_database(60, 30, [motif], rng=rng)
+        path = tmp_path / "generated.fasta"
+        write_fasta(db, path)
+        loaded, _headers = read_fasta(path)
+        result = LevelwiseMiner(
+            CompatibilityMatrix.identity(20),
+            0.5,
+            constraints=PatternConstraints(max_weight=4, max_span=5,
+                                           max_gap=0),
+        ).mine(loaded)
+        assert motif.pattern in result.frequent

@@ -1,0 +1,129 @@
+"""End-to-end integration: the full paper workflow on disk-resident
+data, with verify_result as the oracle for every miner."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BorderCollapsingMiner,
+    CompatibilityMatrix,
+    LevelwiseMiner,
+    MaxMiner,
+    Pattern,
+    PatternConstraints,
+    FileSequenceDatabase,
+    ToivonenMiner,
+    completeness,
+    verify_result,
+)
+from repro.mining.depthfirst import DepthFirstMiner
+from repro.mining.pincer import PincerMiner
+from repro.datagen.motifs import Motif
+from repro.datagen.noise import corrupt_uniform
+from repro.datagen.synthetic import generate_database
+
+CONSTRAINTS = PatternConstraints(max_weight=6, max_span=7, max_gap=0)
+# Threshold sits below the motif's deflated match value:
+# 0.6 * (0.95^2)^5 ~ 0.36 under alpha = 0.05 (see README's
+# threshold-calibration note).
+THRESHOLD = 0.3
+ALPHA = 0.05
+M = 10
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """Standard + noisy databases written to disk, as the paper assumes."""
+    rng = np.random.default_rng(77)
+    motif = Motif(Pattern([1, 2, 3, 4, 5]), frequency=0.6)
+    standard = generate_database(300, 25, M, [motif], rng=rng)
+    noisy = corrupt_uniform(standard, M, ALPHA, rng)
+    root = tmp_path_factory.mktemp("pipeline")
+    standard_path = root / "standard.txt"
+    noisy_path = root / "noisy.txt"
+    standard.save(standard_path)
+    noisy.save(noisy_path)
+    return standard_path, noisy_path, motif
+
+
+def _miners(matrix):
+    rng = np.random.default_rng(5)
+    return {
+        "levelwise": LevelwiseMiner(
+            matrix, THRESHOLD, constraints=CONSTRAINTS
+        ),
+        "maxminer": MaxMiner(matrix, THRESHOLD, constraints=CONSTRAINTS),
+        "pincer": PincerMiner(matrix, THRESHOLD, constraints=CONSTRAINTS),
+        "depthfirst": DepthFirstMiner(
+            matrix, THRESHOLD, constraints=CONSTRAINTS
+        ),
+        "border-collapsing": BorderCollapsingMiner(
+            matrix, THRESHOLD, sample_size=150,
+            constraints=CONSTRAINTS, rng=rng,
+        ),
+        "toivonen": ToivonenMiner(
+            matrix, THRESHOLD, sample_size=150,
+            constraints=CONSTRAINTS, rng=rng,
+        ),
+    }
+
+
+class TestDiskPipeline:
+    def test_every_miner_verifies_on_disk_data(self, workspace):
+        _standard_path, noisy_path, _motif = workspace
+        matrix = CompatibilityMatrix.uniform_noise(M, ALPHA)
+        for name, miner in _miners(matrix).items():
+            database = FileSequenceDatabase(noisy_path)
+            result = miner.mine(database)
+            # Probabilistic miners report sample estimates for interior
+            # patterns; structural checks are exact, value checks get a
+            # loose tolerance for them.
+            tolerance = (
+                0.1 if name in ("border-collapsing", "toivonen") else 1e-9
+            )
+            report = verify_result(
+                result, THRESHOLD, constraints=CONSTRAINTS,
+                database=FileSequenceDatabase(noisy_path), matrix=matrix,
+                tolerance=tolerance,
+            )
+            assert report.ok, f"{name}: {report.summary()}"
+
+    def test_all_miners_find_the_motif(self, workspace):
+        _standard_path, noisy_path, motif = workspace
+        matrix = CompatibilityMatrix.uniform_noise(M, ALPHA)
+        for name, miner in _miners(matrix).items():
+            database = FileSequenceDatabase(noisy_path)
+            result = miner.mine(database)
+            assert result.border.covers(motif.pattern), name
+
+    def test_match_model_beats_support_on_noisy_data(self, workspace):
+        standard_path, noisy_path, _motif = workspace
+        support = CompatibilityMatrix.identity(M)
+        match = CompatibilityMatrix.uniform_noise(M, ALPHA)
+        reference = LevelwiseMiner(
+            support, THRESHOLD, constraints=CONSTRAINTS
+        ).mine(FileSequenceDatabase(standard_path)).patterns
+        support_found = LevelwiseMiner(
+            support, THRESHOLD, constraints=CONSTRAINTS
+        ).mine(FileSequenceDatabase(noisy_path)).patterns
+        match_reference = LevelwiseMiner(
+            match, THRESHOLD, constraints=CONSTRAINTS
+        ).mine(FileSequenceDatabase(standard_path)).patterns
+        match_found = LevelwiseMiner(
+            match, THRESHOLD, constraints=CONSTRAINTS
+        ).mine(FileSequenceDatabase(noisy_path)).patterns
+        support_quality = completeness(support_found, reference)
+        match_quality = completeness(match_found, match_reference)
+        assert match_quality >= support_quality - 0.05
+
+    def test_scan_ordering_on_disk(self, workspace):
+        """The paper's cost hierarchy holds on actual files."""
+        _standard_path, noisy_path, _motif = workspace
+        matrix = CompatibilityMatrix.uniform_noise(M, ALPHA)
+        scans = {}
+        for name, miner in _miners(matrix).items():
+            database = FileSequenceDatabase(noisy_path)
+            scans[name] = miner.mine(database).scans
+        assert scans["depthfirst"] == 1
+        assert scans["border-collapsing"] <= scans["levelwise"]
+        assert scans["border-collapsing"] <= scans["toivonen"]

@@ -1,0 +1,224 @@
+"""Unit tests for repro.core.lattice: candidate generation, super-pattern
+enumeration and halfway patterns (Algorithm 4.4)."""
+
+import pytest
+
+from repro import MiningError, Pattern, PatternConstraints, WILDCARD
+from repro.core.lattice import (
+    embeddings,
+    extend_right,
+    generate_candidates,
+    halfway_patterns,
+    halfway_weight,
+    immediate_superpatterns,
+    iter_patterns_between,
+    level_one_patterns,
+    patterns_at_weight,
+)
+
+
+class TestConstraints:
+    def test_defaults_are_consistent(self):
+        c = PatternConstraints()
+        assert c.max_span >= c.max_weight
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(MiningError):
+            PatternConstraints(max_weight=0)
+        with pytest.raises(MiningError):
+            PatternConstraints(max_weight=5, max_span=4)
+        with pytest.raises(MiningError):
+            PatternConstraints(max_gap=-1)
+
+    def test_admits(self):
+        c = PatternConstraints(max_weight=2, max_span=4, max_gap=1)
+        assert c.admits(Pattern([1, WILDCARD, 2]))
+        assert not c.admits(Pattern([1, 2, 3]))  # weight
+        assert not c.admits(
+            Pattern([1, WILDCARD, WILDCARD, 2])
+        )  # gap
+
+
+class TestExtendRight:
+    def test_contiguous_extensions(self):
+        c = PatternConstraints(max_weight=3, max_span=3, max_gap=0)
+        out = list(extend_right(Pattern([1]), [0, 1], c))
+        assert out == [Pattern([1, 0]), Pattern([1, 1])]
+
+    def test_gapped_extensions(self):
+        c = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        out = set(extend_right(Pattern([1]), [2], c))
+        assert out == {Pattern([1, 2]), Pattern([1, WILDCARD, 2])}
+
+    def test_span_bound_respected(self):
+        c = PatternConstraints(max_weight=3, max_span=3, max_gap=2)
+        out = set(extend_right(Pattern([1, 2]), [3], c))
+        assert out == {Pattern([1, 2, 3])}
+
+    def test_weight_bound_respected(self):
+        c = PatternConstraints(max_weight=2, max_span=5, max_gap=0)
+        assert list(extend_right(Pattern([1, 2]), [3], c)) == []
+
+
+class TestGenerateCandidates:
+    def test_level_two_from_singletons(self):
+        c = PatternConstraints(max_weight=4, max_span=4, max_gap=0)
+        frequent = level_one_patterns([0, 1])
+        candidates = generate_candidates(frequent, [0, 1], c)
+        assert candidates == {
+            Pattern([0, 0]), Pattern([0, 1]), Pattern([1, 0]), Pattern([1, 1])
+        }
+
+    def test_apriori_pruning(self):
+        # With frequent 2-patterns {ab, bc} the candidate abc requires
+        # a*c to also be frequent; it is not, so abc must be pruned
+        # when gaps are allowed (a*c is in the search space).
+        c = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        frequent = {Pattern([0, 1]), Pattern([1, 2])}
+        candidates = generate_candidates(frequent, [0, 1, 2], c)
+        assert Pattern([0, 1, 2]) not in candidates
+
+    def test_contiguous_lattice_prunes_only_contiguous_subs(self):
+        # With max_gap=0, a*c is outside the lattice, so abc only needs
+        # ab and bc — but immediate_subpatterns() still yields a*c,
+        # which cannot be in the frequent set; hence abc is pruned.
+        # The candidate that IS generated is the one whose every
+        # immediate subpattern lies in the frequent set.
+        c = PatternConstraints(max_weight=3, max_span=3, max_gap=0)
+        frequent = {Pattern([0, 0])}
+        candidates = generate_candidates(frequent, [0], c)
+        assert candidates == {Pattern([0, 0, 0])}
+
+    def test_empty_frequent_set(self):
+        c = PatternConstraints()
+        assert generate_candidates(set(), [0, 1], c) == set()
+
+    def test_candidates_have_incremented_weight(self):
+        c = PatternConstraints(max_weight=5, max_span=6, max_gap=1)
+        frequent = {Pattern([0, 1]), Pattern([1, 0]),
+                    Pattern([0, 0]), Pattern([1, 1])}
+        for cand in generate_candidates(frequent, [0, 1], c):
+            assert cand.weight == 3
+
+
+class TestImmediateSuperpatterns:
+    def test_fill_extend_both_sides(self):
+        c = PatternConstraints(max_weight=3, max_span=3, max_gap=1)
+        supers = immediate_superpatterns(Pattern([1, WILDCARD, 2]), [5], c)
+        assert Pattern([1, 5, 2]) in supers  # fill
+        assert all(s.weight == 3 for s in supers)
+
+    def test_right_and_left_extension(self):
+        c = PatternConstraints(max_weight=2, max_span=2, max_gap=0)
+        supers = immediate_superpatterns(Pattern([1]), [5], c)
+        assert supers == {Pattern([1, 5]), Pattern([5, 1])}
+
+    def test_all_are_superpatterns(self):
+        c = PatternConstraints(max_weight=4, max_span=5, max_gap=1)
+        base = Pattern([1, WILDCARD, 2])
+        for sup in immediate_superpatterns(base, [0, 1], c):
+            assert base.is_subpattern_of(sup)
+
+    def test_weight_cap(self):
+        c = PatternConstraints(max_weight=2, max_span=4, max_gap=1)
+        assert immediate_superpatterns(Pattern([1, 2]), [0], c) == set()
+
+
+class TestEmbeddings:
+    def test_multiple_offsets(self):
+        inner = Pattern([1])
+        outer = Pattern([1, 2, 1])
+        assert embeddings(inner, outer) == [0, 2]
+
+    def test_wildcard_flexibility(self):
+        inner = Pattern([1, WILDCARD, 2])
+        outer = Pattern([1, 9, 2])
+        assert embeddings(inner, outer) == [0]
+
+    def test_no_embedding(self):
+        assert embeddings(Pattern([3]), Pattern([1, 2])) == []
+
+    def test_longer_inner(self):
+        assert embeddings(Pattern([1, 2, 3]), Pattern([1, 2])) == []
+
+
+class TestPatternsBetween:
+    def test_halfway_weight_formula(self):
+        assert halfway_weight(Pattern([1]), Pattern([1, 2, 3, 4])) == 3
+        assert halfway_weight(Pattern([1]), Pattern([1, 2])) == 2
+
+    def test_iter_patterns_between_basic(self):
+        lower = Pattern([1])
+        upper = Pattern([1, 2, 3])
+        mids = set(iter_patterns_between(lower, upper, 2))
+        assert mids == {Pattern([1, 2]), Pattern([1, WILDCARD, 3])}
+
+    def test_iter_requires_containment(self):
+        assert list(iter_patterns_between(Pattern([9]), Pattern([1, 2]), 1)) == []
+
+    def test_iter_weight_bounds(self):
+        lower, upper = Pattern([1]), Pattern([1, 2])
+        assert list(iter_patterns_between(lower, upper, 3)) == []
+        assert list(iter_patterns_between(lower, upper, 0)) == []
+
+    def test_iter_full_weight_returns_upper(self):
+        lower, upper = Pattern([1]), Pattern([1, 2, 3])
+        assert set(iter_patterns_between(lower, upper, 3)) == {upper}
+
+    def test_every_result_is_between(self):
+        lower = Pattern([2, 3])
+        upper = Pattern([1, 2, 3, 4, 5])
+        for mid in iter_patterns_between(lower, upper, 3):
+            assert lower.is_subpattern_of(mid)
+            assert mid.is_subpattern_of(upper)
+            assert mid.weight == 3
+
+
+class TestHalfwayPatterns:
+    def test_paper_chain_example(self):
+        # Ambiguous chain d1 < d1d2 < ... < d1d2d3d4d5: the halfway
+        # pattern between the borders {d1} and {d1d2d3d4d5} has weight 3.
+        lower = [Pattern([0])]
+        upper = [Pattern([0, 1, 2, 3, 4])]
+        halfway = halfway_patterns(lower, upper)
+        assert all(p.weight == 3 for p in halfway)
+        assert Pattern([0, 1, 2]) in halfway
+
+    def test_figure6b_halfway_layer(self):
+        # Figure 6(b): between d1 and d1d2d3d4d5 the halfway layer holds
+        # exactly the six weight-3 patterns anchored at d1.
+        halfway = halfway_patterns(
+            [Pattern([0])], [Pattern([0, 1, 2, 3, 4])]
+        )
+        expected = {
+            Pattern([0, 1, 2]),
+            Pattern([0, 1, WILDCARD, 3]),
+            Pattern([0, 1, WILDCARD, WILDCARD, 4]),
+            Pattern([0, WILDCARD, 2, 3]),
+            Pattern([0, WILDCARD, 2, WILDCARD, 4]),
+            Pattern([0, WILDCARD, WILDCARD, 3, 4]),
+        }
+        assert halfway == expected
+
+    def test_limit_caps_output(self):
+        halfway = halfway_patterns(
+            [Pattern([0])], [Pattern([0, 1, 2, 3, 4])], limit=2
+        )
+        assert len(halfway) == 2
+
+    def test_incomparable_pairs_skipped(self):
+        halfway = halfway_patterns([Pattern([9])], [Pattern([0, 1, 2])])
+        assert halfway == set()
+
+
+class TestPatternsAtWeight:
+    def test_slices_closure(self):
+        border = [Pattern([1, 2, 3])]
+        level2 = patterns_at_weight(border, 2)
+        assert level2 == {
+            Pattern([1, 2]), Pattern([2, 3]), Pattern([1, WILDCARD, 3])
+        }
+
+    def test_union_over_elements(self):
+        level1 = patterns_at_weight([Pattern([1, 2]), Pattern([3, 4])], 1)
+        assert level1 == {Pattern([1]), Pattern([2]), Pattern([3]), Pattern([4])}

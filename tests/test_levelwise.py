@@ -1,0 +1,162 @@
+"""Unit tests for the exact level-wise miner and batched counting."""
+
+import pytest
+
+from repro import (
+    CompatibilityMatrix,
+    LevelwiseMiner,
+    MiningError,
+    Pattern,
+    PatternConstraints,
+    SequenceDatabase,
+    WILDCARD,
+    mine_support,
+)
+from repro.mining.counting import count_matches_batched
+
+
+class TestCounting:
+    def test_batching_splits_scans(self, fig2_matrix, fig4_database):
+        patterns = [Pattern([i]) for i in range(5)]
+        count_matches_batched(
+            patterns, fig4_database, fig2_matrix, memory_capacity=2
+        )
+        assert fig4_database.scan_count == 3  # ceil(5 / 2)
+
+    def test_unbounded_is_one_scan(self, fig2_matrix, fig4_database):
+        patterns = [Pattern([i]) for i in range(5)]
+        count_matches_batched(patterns, fig4_database, fig2_matrix)
+        assert fig4_database.scan_count == 1
+
+    def test_results_independent_of_batching(self, fig2_matrix, fig4_database):
+        patterns = [Pattern([i, j]) for i in range(3) for j in range(3)]
+        full = count_matches_batched(patterns, fig4_database, fig2_matrix)
+        batched = count_matches_batched(
+            patterns, fig4_database, fig2_matrix, memory_capacity=2
+        )
+        assert full == batched
+
+    def test_invalid_capacity(self, fig2_matrix, fig4_database):
+        with pytest.raises(MiningError):
+            count_matches_batched(
+                [Pattern([0])], fig4_database, fig2_matrix, memory_capacity=0
+            )
+
+    def test_empty_patterns_no_scan(self, fig2_matrix, fig4_database):
+        assert count_matches_batched([], fig4_database, fig2_matrix) == {}
+        assert fig4_database.scan_count == 0
+
+
+class TestLevelwiseMiner:
+    def test_figure4_database_mining(self, fig2_matrix, fig4_database):
+        miner = LevelwiseMiner(
+            fig2_matrix,
+            min_match=0.3,
+            constraints=PatternConstraints(max_weight=4, max_span=5, max_gap=1),
+        )
+        result = miner.mine(fig4_database)
+        # Frequent symbols by exact match: d1 (.7), d2 (.8), d3 (.3875),
+        # d4 (.425); d5 (.075) is out.
+        singles = {p for p in result.frequent if p.weight == 1}
+        assert singles == {Pattern([0]), Pattern([1]), Pattern([2]),
+                           Pattern([3])}
+        # d2 d1 has match .391 >= .3; it must be found.
+        assert Pattern([1, 0]) in result.frequent
+        assert result.frequent[Pattern([1, 0])] == pytest.approx(
+            0.391, abs=1e-3
+        )
+
+    def test_all_reported_patterns_meet_threshold(
+        self, fig2_matrix, fig4_database
+    ):
+        miner = LevelwiseMiner(fig2_matrix, min_match=0.1)
+        result = miner.mine(fig4_database)
+        assert result.frequent  # sanity: something was found
+        for value in result.frequent.values():
+            assert value >= 0.1
+
+    def test_border_covers_exactly_the_frequent_set(
+        self, fig2_matrix, fig4_database
+    ):
+        miner = LevelwiseMiner(
+            fig2_matrix,
+            min_match=0.2,
+            constraints=PatternConstraints(max_weight=3, max_span=4, max_gap=1),
+        )
+        result = miner.mine(fig4_database)
+        for pattern in result.frequent:
+            assert result.border.covers(pattern)
+
+    def test_scan_accounting_one_per_level(self, fig2_matrix, fig4_database):
+        miner = LevelwiseMiner(
+            fig2_matrix,
+            min_match=0.2,
+            constraints=PatternConstraints(max_weight=3, max_span=4, max_gap=0),
+        )
+        result = miner.mine(fig4_database)
+        # 1 scan for symbols + 1 scan per candidate level.
+        assert result.scans == len(result.level_stats)
+
+    def test_level_stats_candidates_nonincreasing_survivors(
+        self, fig2_matrix, fig4_database
+    ):
+        miner = LevelwiseMiner(fig2_matrix, min_match=0.15)
+        result = miner.mine(fig4_database)
+        for stats in result.level_stats:
+            assert stats.frequent <= stats.candidates
+
+    def test_high_threshold_yields_nothing(self, fig2_matrix, fig4_database):
+        miner = LevelwiseMiner(fig2_matrix, min_match=0.95)
+        result = miner.mine(fig4_database)
+        assert result.frequent == {}
+        assert len(result.border) == 0
+
+    def test_invalid_threshold_rejected(self, fig2_matrix):
+        with pytest.raises(MiningError):
+            LevelwiseMiner(fig2_matrix, min_match=0.0)
+        with pytest.raises(MiningError):
+            LevelwiseMiner(fig2_matrix, min_match=1.5)
+
+    def test_memory_capacity_increases_scans_not_results(
+        self, fig2_matrix, fig4_database
+    ):
+        constraints = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        unbounded = LevelwiseMiner(
+            fig2_matrix, 0.2, constraints=constraints
+        ).mine(fig4_database)
+        fig4_database.reset_scan_count()
+        bounded = LevelwiseMiner(
+            fig2_matrix, 0.2, constraints=constraints, memory_capacity=3
+        ).mine(fig4_database)
+        assert bounded.frequent == unbounded.frequent
+        assert bounded.scans >= unbounded.scans
+
+
+class TestSupportMining:
+    def test_support_counts_exact_occurrences(self):
+        db = SequenceDatabase([[0, 1, 2], [0, 1, 0], [2, 2, 2], [0, 1, 1]])
+        result = mine_support(
+            db, alphabet_size=3, min_support=0.5,
+            constraints=PatternConstraints(max_weight=3, max_span=3, max_gap=0),
+        )
+        assert result.frequent[Pattern([0, 1])] == pytest.approx(0.75)
+        assert Pattern([2]) in result.frequent
+
+    def test_support_equals_match_under_identity(self, fig4_database):
+        constraints = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        support = mine_support(
+            fig4_database, 5, 0.25, constraints=constraints
+        )
+        fig4_database.reset_scan_count()
+        match = LevelwiseMiner(
+            CompatibilityMatrix.identity(5), 0.25, constraints=constraints
+        ).mine(fig4_database)
+        assert support.frequent == match.frequent
+
+    def test_gapped_pattern_support(self):
+        db = SequenceDatabase([[0, 9, 1], [0, 5, 1], [0, 1, 1]])
+        result = mine_support(
+            db, alphabet_size=10, min_support=0.9,
+            constraints=PatternConstraints(max_weight=2, max_span=3, max_gap=1),
+        )
+        assert result.frequent[Pattern([0, WILDCARD, 1])] == pytest.approx(1.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the Max-Miner adaptation (look-ahead mining)."""
+
+import pytest
+
+from repro import (
+    CompatibilityMatrix,
+    LevelwiseMiner,
+    MaxMiner,
+    MiningError,
+    Pattern,
+    PatternConstraints,
+)
+from repro.datagen.motifs import Motif
+from repro.datagen.noise import corrupt_uniform
+from repro.datagen.synthetic import generate_database
+
+
+@pytest.fixture
+def planted_db(rng):
+    """60 sequences with a planted 6-symbol motif in 70% of them."""
+    motif = Motif(Pattern([1, 2, 3, 4, 5, 6]), frequency=0.7)
+    return generate_database(60, 30, 10, [motif], rng=rng), motif
+
+
+CONSTRAINTS = PatternConstraints(max_weight=7, max_span=7, max_gap=0)
+
+
+class TestAgreementWithExactMiner:
+    def test_same_frequent_set_on_toy_db(self, fig2_matrix, fig4_database):
+        constraints = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        exact = LevelwiseMiner(
+            fig2_matrix, 0.2, constraints=constraints
+        ).mine(fig4_database)
+        fig4_database.reset_scan_count()
+        fast = MaxMiner(
+            fig2_matrix, 0.2, constraints=constraints
+        ).mine(fig4_database)
+        assert fast.patterns == exact.patterns
+        for pattern, value in exact.frequent.items():
+            assert fast.frequent[pattern] == pytest.approx(value)
+
+    def test_same_frequent_set_with_planted_motif(self, planted_db):
+        db, _motif = planted_db
+        matrix = CompatibilityMatrix.identity(10)
+        exact = LevelwiseMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        db.reset_scan_count()
+        fast = MaxMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        assert fast.patterns == exact.patterns
+
+    def test_same_set_under_noise(self, planted_db, rng):
+        db, _motif = planted_db
+        noisy = corrupt_uniform(db, 10, 0.1, rng)
+        matrix = CompatibilityMatrix.uniform_noise(10, 0.1)
+        exact = LevelwiseMiner(matrix, 0.3, constraints=CONSTRAINTS).mine(noisy)
+        noisy.reset_scan_count()
+        fast = MaxMiner(matrix, 0.3, constraints=CONSTRAINTS).mine(noisy)
+        assert fast.patterns == exact.patterns
+
+
+class TestLookahead:
+    def test_finds_planted_motif(self, planted_db):
+        db, motif = planted_db
+        matrix = CompatibilityMatrix.identity(10)
+        result = MaxMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        assert motif.pattern in result.frequent
+
+    def test_lookahead_hits_recorded(self, planted_db):
+        db, _motif = planted_db
+        matrix = CompatibilityMatrix.identity(10)
+        result = MaxMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        assert result.extras["lookahead_hits"] >= 1
+
+    def test_lookahead_saves_scans_on_long_patterns(self, planted_db):
+        db, _motif = planted_db
+        matrix = CompatibilityMatrix.identity(10)
+        exact = LevelwiseMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        db.reset_scan_count()
+        fast = MaxMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        assert fast.scans <= exact.scans
+
+    def test_disabled_lookahead_still_correct(self, planted_db):
+        db, motif = planted_db
+        matrix = CompatibilityMatrix.identity(10)
+        result = MaxMiner(
+            matrix, 0.4, constraints=CONSTRAINTS, lookahead_per_level=0
+        ).mine(db)
+        assert motif.pattern in result.frequent
+
+    def test_without_exact_fill_only_border_guaranteed(self, planted_db):
+        db, motif = planted_db
+        matrix = CompatibilityMatrix.identity(10)
+        result = MaxMiner(
+            matrix, 0.4, constraints=CONSTRAINTS,
+            collect_exact_matches=False,
+        ).mine(db)
+        assert result.border.covers(motif.pattern)
+
+
+class TestValidation:
+    def test_invalid_parameters(self, fig2_matrix):
+        with pytest.raises(MiningError):
+            MaxMiner(fig2_matrix, 0.0)
+        with pytest.raises(MiningError):
+            MaxMiner(fig2_matrix, 0.5, lookahead_per_level=-1)
+
+    def test_high_threshold_empty_result(self, fig2_matrix, fig4_database):
+        result = MaxMiner(fig2_matrix, 0.99).mine(fig4_database)
+        assert result.frequent == {}

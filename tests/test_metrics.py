@@ -1,0 +1,150 @@
+"""Unit tests for repro.eval: quality metrics and the experiment harness."""
+
+import pytest
+
+from repro import (
+    ExperimentTable,
+    NoisyMineError,
+    Pattern,
+    accuracy,
+    completeness,
+    error_rate,
+    missed_match_distribution,
+    quality,
+)
+from repro.eval.harness import sweep
+from repro.eval.metrics import MISSED_BUCKETS, confusion
+
+
+P1, P2, P3, P4 = Pattern([1]), Pattern([2]), Pattern([3]), Pattern([4])
+
+
+class TestAccuracyCompleteness:
+    def test_perfect_result(self):
+        assert accuracy([P1, P2], [P1, P2]) == 1.0
+        assert completeness([P1, P2], [P1, P2]) == 1.0
+
+    def test_half_wrong(self):
+        assert accuracy([P1, P3], [P1, P2]) == 0.5
+
+    def test_half_missing(self):
+        assert completeness([P1], [P1, P2]) == 0.5
+
+    def test_selectivity_vs_coverage_are_independent(self):
+        found = [P1, P2, P3]  # one spurious
+        reference = [P1, P2, P4]  # one missed
+        assert accuracy(found, reference) == pytest.approx(2 / 3)
+        assert completeness(found, reference) == pytest.approx(2 / 3)
+
+    def test_empty_found_conventions(self):
+        assert accuracy([], [P1]) == 1.0
+        assert completeness([], [P1]) == 0.0
+
+    def test_empty_reference_conventions(self):
+        assert completeness([P1], []) == 1.0
+        assert accuracy([P1], []) == 0.0
+
+    def test_quality_bundle(self):
+        report = quality([P1, P3], [P1, P2])
+        assert report.accuracy == 0.5
+        assert report.completeness == 0.5
+        assert report.found == 2
+        assert report.reference == 2
+        assert "accuracy=0.500" in str(report)
+
+
+class TestErrorRate:
+    def test_no_errors(self):
+        assert error_rate([P1, P2], [P1, P2]) == 0.0
+
+    def test_mislabeled_both_directions(self):
+        # one false positive + one false negative over two frequent.
+        assert error_rate([P1, P3], [P1, P2]) == 1.0
+
+    def test_empty_reference(self):
+        assert error_rate([], []) == 0.0
+        assert error_rate([P1], []) == 1.0
+
+
+class TestConfusion:
+    def test_counts(self):
+        result = confusion([P1, P3], [P1, P2])
+        assert result == {
+            "true_positive": 1,
+            "false_positive": 1,
+            "false_negative": 1,
+        }
+
+
+class TestMissedDistribution:
+    def test_buckets_fractions(self):
+        missed = {
+            P1: 0.102,  # 2% over 0.1 -> bucket 0
+            P2: 0.107,  # 7% over -> bucket 1
+            P3: 0.112,  # 12% over -> bucket 2
+            P4: 0.130,  # 30% over -> bucket 3
+        }
+        dist = missed_match_distribution(missed, 0.1)
+        assert dist == [0.25, 0.25, 0.25, 0.25]
+
+    def test_below_threshold_excluded(self):
+        dist = missed_match_distribution({P1: 0.05, P2: 0.101}, 0.1)
+        assert dist == [1.0, 0.0, 0.0, 0.0]
+
+    def test_empty_input(self):
+        assert missed_match_distribution({}, 0.1) == [0.0] * len(
+            MISSED_BUCKETS
+        )
+
+    def test_invalid_threshold(self):
+        with pytest.raises(NoisyMineError):
+            missed_match_distribution({P1: 0.2}, 0.0)
+
+    def test_custom_buckets(self):
+        dist = missed_match_distribution(
+            {P1: 0.15}, 0.1, buckets=[(0.0, 1.0), (1.0, float("inf"))]
+        )
+        assert dist == [1.0, 0.0]
+
+
+class TestExperimentTable:
+    def test_add_and_column(self):
+        table = ExperimentTable("t", "x")
+        table.add(1, "a", 10)
+        table.add(2, "a", 20)
+        table.add(1, "b", 0.5)
+        assert table.column("a") == [10, 20]
+        assert table.column("b") == [0.5, None]
+
+    def test_render_layout(self):
+        table = ExperimentTable("Figure X", "alpha")
+        table.add(0.1, "match", 0.97)
+        table.add(0.1, "support", 0.61)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Figure X"
+        assert "alpha" in lines[1]
+        assert "match" in lines[1]
+        assert "0.970" in text
+        assert "0.610" in text
+
+    def test_render_formats(self):
+        table = ExperimentTable("t", "x")
+        table.add(1, "tiny", 1e-6)
+        table.add(1, "zero", 0.0)
+        table.add(1, "int", 7)
+        text = table.render()
+        assert "1.00e-06" in text
+        assert "7" in text
+
+    def test_sweep_runs_all_values(self):
+        table = ExperimentTable("t", "x")
+        seen = []
+
+        def runner(x):
+            seen.append(x)
+            return {"double": x * 2}
+
+        sweep([1, 2, 3], runner, table)
+        assert seen == [1, 2, 3]
+        assert table.column("double") == [2, 4, 6]

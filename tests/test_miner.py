@@ -1,0 +1,208 @@
+"""Integration tests for the three-phase BorderCollapsingMiner and the
+Toivonen sampling-levelwise baseline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BorderCollapsingMiner,
+    CompatibilityMatrix,
+    LevelwiseMiner,
+    MiningError,
+    Pattern,
+    PatternConstraints,
+    SequenceDatabase,
+    ToivonenMiner,
+    mine_noisy_patterns,
+)
+from repro.datagen.motifs import Motif
+from repro.datagen.noise import corrupt_uniform
+from repro.datagen.synthetic import generate_database
+
+CONSTRAINTS = PatternConstraints(max_weight=6, max_span=7, max_gap=0)
+
+
+@pytest.fixture
+def planted(rng):
+    motif = Motif(Pattern([1, 2, 3, 4, 5]), frequency=0.6)
+    db = generate_database(400, 20, 12, [motif], rng=rng)
+    return db, motif
+
+
+class TestBorderCollapsingMiner:
+    def test_agrees_with_exact_miner_on_border(self, planted, rng):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        exact = LevelwiseMiner(matrix, 0.45, constraints=CONSTRAINTS).mine(db)
+        db.reset_scan_count()
+        miner = BorderCollapsingMiner(
+            matrix, 0.45, sample_size=200, constraints=CONSTRAINTS, rng=rng
+        )
+        result = miner.mine(db)
+        assert result.border == exact.border
+
+    def test_finds_planted_motif(self, planted, rng):
+        db, motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        miner = BorderCollapsingMiner(
+            matrix, 0.45, sample_size=200, constraints=CONSTRAINTS, rng=rng
+        )
+        result = miner.mine(db)
+        assert motif.pattern in result.frequent
+
+    def test_uses_few_scans(self, planted, rng):
+        """The headline property: 2-4 scans total."""
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        miner = BorderCollapsingMiner(
+            matrix, 0.45, sample_size=200, constraints=CONSTRAINTS, rng=rng
+        )
+        result = miner.mine(db)
+        assert 1 <= result.scans <= 4
+
+    def test_fewer_scans_than_levelwise(self, planted, rng):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        exact = LevelwiseMiner(matrix, 0.45, constraints=CONSTRAINTS).mine(db)
+        db.reset_scan_count()
+        result = BorderCollapsingMiner(
+            matrix, 0.45, sample_size=200, constraints=CONSTRAINTS, rng=rng
+        ).mine(db)
+        assert result.scans < exact.scans
+
+    def test_works_under_noise(self, planted, rng):
+        db, motif = planted
+        noisy = corrupt_uniform(db, 12, 0.1, rng)
+        matrix = CompatibilityMatrix.uniform_noise(12, 0.1)
+        # Under alpha = 0.1 each planted position both flips (p = .1)
+        # and is discounted by C, so the motif's expected match is about
+        # 0.6 * (0.9^2)^5 ~ 0.21 (match decays with weight, Section 3).
+        # The threshold must also stay above the Chernoff half-width for
+        # the sample size, or nothing can be ruled out (see the
+        # degenerate-band warning in classify_on_sample).
+        result = BorderCollapsingMiner(
+            matrix, 0.15, sample_size=300, constraints=CONSTRAINTS, rng=rng
+        ).mine(noisy)
+        assert motif.pattern in result.frequent
+
+    def test_extras_diagnostics_present(self, planted, rng):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        result = BorderCollapsingMiner(
+            matrix, 0.45, sample_size=100, constraints=CONSTRAINTS, rng=rng
+        ).mine(db)
+        assert "ambiguous_patterns" in result.extras
+        assert "phase3_scans" in result.extras
+        assert result.extras["sample_size"] == 100
+        assert result.scans == 1 + result.extras["phase3_scans"]
+
+    def test_sample_size_clamped_to_database(self, rng):
+        db = SequenceDatabase([[0, 1, 2]] * 10)
+        matrix = CompatibilityMatrix.identity(3)
+        result = BorderCollapsingMiner(
+            matrix, 0.5, sample_size=10_000, constraints=CONSTRAINTS, rng=rng
+        ).mine(db)
+        assert result.extras["sample_size"] == 10
+
+    def test_memory_capacity_respected(self, planted, rng):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        result = BorderCollapsingMiner(
+            matrix, 0.45, sample_size=100, constraints=CONSTRAINTS,
+            memory_capacity=2, rng=rng,
+        ).mine(db)
+        for batch in result.extras["probe_rounds"]:
+            assert len(batch) <= 2
+
+    def test_invalid_parameters(self):
+        matrix = CompatibilityMatrix.identity(3)
+        with pytest.raises(MiningError):
+            BorderCollapsingMiner(matrix, 0.0, sample_size=10)
+        with pytest.raises(MiningError):
+            BorderCollapsingMiner(matrix, 0.5, sample_size=0)
+
+    def test_convenience_wrapper(self, planted):
+        db, motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        result = mine_noisy_patterns(
+            db, matrix, 0.45, constraints=CONSTRAINTS,
+            rng=np.random.default_rng(1),
+        )
+        assert motif.pattern in result.frequent
+
+
+class TestToivonenMiner:
+    def test_agrees_with_exact_miner(self, planted, rng):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        exact = LevelwiseMiner(matrix, 0.45, constraints=CONSTRAINTS).mine(db)
+        db.reset_scan_count()
+        result = ToivonenMiner(
+            matrix, 0.45, sample_size=200, constraints=CONSTRAINTS, rng=rng
+        ).mine(db)
+        assert result.patterns == exact.patterns
+
+    def test_needs_more_scans_than_border_collapsing(self, planted, rng):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        toivonen = ToivonenMiner(
+            matrix, 0.45, sample_size=200, constraints=CONSTRAINTS, rng=rng
+        ).mine(db)
+        db.reset_scan_count()
+        ours = BorderCollapsingMiner(
+            matrix, 0.45, sample_size=200, constraints=CONSTRAINTS, rng=rng
+        ).mine(db)
+        assert ours.scans <= toivonen.scans
+
+    def test_reports_border_distance(self, planted, rng):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(12)
+        result = ToivonenMiner(
+            matrix, 0.45, sample_size=200, constraints=CONSTRAINTS, rng=rng
+        ).mine(db)
+        assert "border_distance" in result.extras
+        assert result.extras["border_distance"] >= 0
+
+    def test_invalid_min_match(self):
+        with pytest.raises(MiningError):
+            ToivonenMiner(
+                CompatibilityMatrix.identity(3), 0.0, sample_size=5
+            )
+
+
+class TestCrossAlgorithmConsistency:
+    """All four miners must report the same frequent patterns."""
+
+    def test_four_way_agreement(self, rng):
+        from repro import MaxMiner
+
+        motif = Motif(Pattern([2, 4, 6, 8]), frequency=0.7)
+        db = generate_database(250, 18, 10, [motif], rng=rng)
+        noisy = corrupt_uniform(db, 10, 0.1, rng)
+        matrix = CompatibilityMatrix.uniform_noise(10, 0.1)
+        constraints = PatternConstraints(max_weight=5, max_span=6, max_gap=0)
+        threshold = 0.4
+
+        exact = LevelwiseMiner(
+            matrix, threshold, constraints=constraints
+        ).mine(noisy)
+        noisy.reset_scan_count()
+        maxminer = MaxMiner(
+            matrix, threshold, constraints=constraints
+        ).mine(noisy)
+        noisy.reset_scan_count()
+        ours = BorderCollapsingMiner(
+            matrix, threshold, sample_size=150, constraints=constraints,
+            rng=rng,
+        ).mine(noisy)
+        noisy.reset_scan_count()
+        toivonen = ToivonenMiner(
+            matrix, threshold, sample_size=150, constraints=constraints,
+            rng=rng,
+        ).mine(noisy)
+
+        assert maxminer.patterns == exact.patterns
+        assert toivonen.patterns == exact.patterns
+        # The probabilistic miner is allowed delta-probability deviations,
+        # but on this margin the borders must coincide.
+        assert ours.border == exact.border

@@ -1,0 +1,131 @@
+"""Property-based cross-miner equivalence on random instances.
+
+The strongest integration guarantee the library can give: on arbitrary
+small databases and thresholds, every miner reports exactly the same
+frequent-pattern set as the exact level-wise reference —
+
+* MaxMiner and PincerMiner (deterministic look-ahead variants) must
+  agree unconditionally;
+* DepthFirstMiner (different traversal, same semantics) must agree
+  unconditionally;
+* BorderCollapsingMiner run with the sample equal to the database
+  (exact Phase 2) must agree unconditionally, since no Chernoff
+  approximation is involved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BorderCollapsingMiner,
+    CompatibilityMatrix,
+    LevelwiseMiner,
+    MaxMiner,
+    PatternConstraints,
+    SequenceDatabase,
+)
+from repro.mining.depthfirst import DepthFirstMiner
+from repro.mining.pincer import PincerMiner
+
+M = 4
+CONSTRAINTS = PatternConstraints(max_weight=4, max_span=5, max_gap=1)
+
+
+def small_databases() -> st.SearchStrategy:
+    return st.lists(
+        st.lists(st.integers(0, M - 1), min_size=2, max_size=10),
+        min_size=2,
+        max_size=8,
+    ).map(SequenceDatabase)
+
+
+def matrices() -> st.SearchStrategy:
+    @st.composite
+    def build(draw):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            return CompatibilityMatrix.identity(M)
+        if kind == 1:
+            alpha = draw(st.floats(0.05, 0.5))
+            return CompatibilityMatrix.uniform_noise(M, alpha)
+        seed = draw(st.integers(0, 2**31 - 1))
+        return CompatibilityMatrix.random_sparse(
+            M, 0.4, rng=np.random.default_rng(seed)
+        )
+
+    return build()
+
+
+thresholds = st.floats(0.05, 0.9)
+
+
+@given(small_databases(), matrices(), thresholds)
+@settings(max_examples=60, deadline=None)
+def test_maxminer_equals_levelwise(db, matrix, threshold):
+    exact = LevelwiseMiner(matrix, threshold, constraints=CONSTRAINTS).mine(
+        db
+    )
+    db.reset_scan_count()
+    fast = MaxMiner(matrix, threshold, constraints=CONSTRAINTS).mine(db)
+    assert fast.patterns == exact.patterns
+
+
+@given(small_databases(), matrices(), thresholds)
+@settings(max_examples=60, deadline=None)
+def test_pincer_equals_levelwise(db, matrix, threshold):
+    exact = LevelwiseMiner(matrix, threshold, constraints=CONSTRAINTS).mine(
+        db
+    )
+    db.reset_scan_count()
+    pincer = PincerMiner(matrix, threshold, constraints=CONSTRAINTS).mine(db)
+    assert pincer.patterns == exact.patterns
+
+
+@given(small_databases(), matrices(), thresholds)
+@settings(max_examples=60, deadline=None)
+def test_depthfirst_equals_levelwise(db, matrix, threshold):
+    exact = LevelwiseMiner(matrix, threshold, constraints=CONSTRAINTS).mine(
+        db
+    )
+    db.reset_scan_count()
+    depth = DepthFirstMiner(matrix, threshold, constraints=CONSTRAINTS).mine(
+        db
+    )
+    assert depth.patterns == exact.patterns
+
+
+@given(small_databases(), matrices(), thresholds, st.integers(0, 99))
+@settings(max_examples=40, deadline=None)
+def test_border_collapsing_exact_sample_equals_levelwise(
+    db, matrix, threshold, seed
+):
+    exact = LevelwiseMiner(matrix, threshold, constraints=CONSTRAINTS).mine(
+        db
+    )
+    db.reset_scan_count()
+    ours = BorderCollapsingMiner(
+        matrix,
+        threshold,
+        sample_size=len(db),  # exact Phase 2: no probabilistic bound
+        constraints=CONSTRAINTS,
+        rng=np.random.default_rng(seed),
+    ).mine(db)
+    assert ours.patterns == exact.patterns
+
+
+@given(small_databases(), matrices(), thresholds)
+@settings(max_examples=40, deadline=None)
+def test_match_values_agree_across_miners(db, matrix, threshold):
+    exact = LevelwiseMiner(matrix, threshold, constraints=CONSTRAINTS).mine(
+        db
+    )
+    db.reset_scan_count()
+    depth = DepthFirstMiner(matrix, threshold, constraints=CONSTRAINTS).mine(
+        db
+    )
+    for pattern, value in exact.frequent.items():
+        assert depth.frequent[pattern] == pytest.approx(value, abs=1e-12)

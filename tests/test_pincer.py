@@ -1,0 +1,97 @@
+"""Unit tests for the Pincer-search adaptation."""
+
+import pytest
+
+from repro import (
+    CompatibilityMatrix,
+    LevelwiseMiner,
+    MiningError,
+    Pattern,
+    PatternConstraints,
+)
+from repro.mining.pincer import PincerMiner
+from repro.datagen.motifs import Motif
+from repro.datagen.noise import corrupt_uniform
+from repro.datagen.synthetic import generate_database
+
+CONSTRAINTS = PatternConstraints(max_weight=7, max_span=7, max_gap=0)
+
+
+@pytest.fixture
+def planted(rng):
+    motif = Motif(Pattern([1, 2, 3, 4, 5, 6]), frequency=0.7)
+    return generate_database(80, 25, 10, [motif], rng=rng), motif
+
+
+class TestAgreement:
+    def test_toy_database(self, fig2_matrix, fig4_database):
+        constraints = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        exact = LevelwiseMiner(
+            fig2_matrix, 0.2, constraints=constraints
+        ).mine(fig4_database)
+        fig4_database.reset_scan_count()
+        pincer = PincerMiner(
+            fig2_matrix, 0.2, constraints=constraints
+        ).mine(fig4_database)
+        assert pincer.patterns == exact.patterns
+
+    def test_planted_motif(self, planted):
+        db, motif = planted
+        matrix = CompatibilityMatrix.identity(10)
+        exact = LevelwiseMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        db.reset_scan_count()
+        pincer = PincerMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        assert pincer.patterns == exact.patterns
+        assert motif.pattern in pincer.frequent
+
+    def test_under_noise(self, planted, rng):
+        db, _motif = planted
+        noisy = corrupt_uniform(db, 10, 0.1, rng)
+        matrix = CompatibilityMatrix.uniform_noise(10, 0.1)
+        exact = LevelwiseMiner(matrix, 0.3, constraints=CONSTRAINTS).mine(
+            noisy
+        )
+        noisy.reset_scan_count()
+        pincer = PincerMiner(matrix, 0.3, constraints=CONSTRAINTS).mine(
+            noisy
+        )
+        assert pincer.patterns == exact.patterns
+
+
+class TestLookahead:
+    def test_mfcs_hits_on_long_motifs(self, planted):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(10)
+        pincer = PincerMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        assert pincer.extras["mfcs_hits"] >= 1
+
+    def test_no_lookahead_when_disabled(self, planted):
+        db, motif = planted
+        matrix = CompatibilityMatrix.identity(10)
+        pincer = PincerMiner(
+            matrix, 0.4, constraints=CONSTRAINTS, mfcs_limit=0
+        ).mine(db)
+        assert pincer.extras["mfcs_hits"] == 0
+        assert motif.pattern in pincer.frequent
+
+    def test_scans_not_worse_than_levelwise_plus_one(self, planted):
+        db, _motif = planted
+        matrix = CompatibilityMatrix.identity(10)
+        exact = LevelwiseMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        db.reset_scan_count()
+        pincer = PincerMiner(matrix, 0.4, constraints=CONSTRAINTS).mine(db)
+        # Pincer may pay one extra closing scan for exact matches, never
+        # more in this configuration.
+        assert pincer.scans <= exact.scans + 1
+
+
+class TestValidation:
+    def test_invalid_parameters(self, fig2_matrix):
+        with pytest.raises(MiningError):
+            PincerMiner(fig2_matrix, 0.0)
+        with pytest.raises(MiningError):
+            PincerMiner(fig2_matrix, 0.4, mfcs_limit=-1)
+
+    def test_empty_result_at_high_threshold(self, fig2_matrix, fig4_database):
+        result = PincerMiner(fig2_matrix, 0.99).mine(fig4_database)
+        assert result.frequent == {}

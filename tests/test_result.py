@@ -1,0 +1,99 @@
+"""Unit tests for the result containers (MiningResult, LevelStats)."""
+
+import pytest
+
+from repro import Border, MiningResult, Pattern
+from repro.mining.result import LevelStats
+
+
+@pytest.fixture
+def result():
+    frequent = {
+        Pattern([1]): 0.9,
+        Pattern([2]): 0.8,
+        Pattern([1, 2]): 0.5,
+    }
+    return MiningResult(
+        frequent=frequent,
+        border=Border(frequent),
+        scans=3,
+        elapsed_seconds=0.25,
+        level_stats=[LevelStats(1, 5, 2), LevelStats(2, 4, 1)],
+    )
+
+
+class TestMiningResult:
+    def test_patterns_property(self, result):
+        assert result.patterns == {
+            Pattern([1]), Pattern([2]), Pattern([1, 2])
+        }
+
+    def test_max_weight(self, result):
+        assert result.max_weight() == 2
+
+    def test_max_weight_empty(self):
+        empty = MiningResult(frequent={}, border=Border(), scans=1)
+        assert empty.max_weight() == 0
+
+    def test_candidates_per_level(self, result):
+        assert result.candidates_per_level() == {1: 5, 2: 4}
+
+    def test_summary_mentions_key_numbers(self, result):
+        text = result.summary()
+        assert "3 frequent patterns" in text
+        assert "3 database scans" in text
+        assert "max weight 2" in text
+
+    def test_level_stats_str(self):
+        assert "level 2" in str(LevelStats(2, 10, 4))
+        assert "10 candidates" in str(LevelStats(2, 10, 4))
+
+    def test_extras_default_empty(self, result):
+        assert result.extras == {}
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_submodule_all_exports_resolve(self):
+        import repro.core
+        import repro.datagen
+        import repro.eval
+        import repro.mining
+
+        for module in (repro.core, repro.datagen, repro.eval, repro.mining):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__} missing export {name}"
+                )
+
+    def test_error_hierarchy(self):
+        from repro import (
+            AlphabetError,
+            CompatibilityMatrixError,
+            MiningError,
+            NoisyMineError,
+            PatternError,
+            SamplingError,
+            SequenceDatabaseError,
+        )
+
+        for exc in (
+            AlphabetError,
+            CompatibilityMatrixError,
+            MiningError,
+            PatternError,
+            SamplingError,
+            SequenceDatabaseError,
+        ):
+            assert issubclass(exc, NoisyMineError)
+            assert issubclass(exc, Exception)

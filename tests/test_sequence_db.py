@@ -1,0 +1,219 @@
+"""Unit tests for repro.core.sequence: databases, scans, sampling, IO."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FileSequenceDatabase,
+    SamplingError,
+    SequenceDatabase,
+    SequenceDatabaseError,
+)
+from repro.core.sequence import as_sequence_array
+
+
+class TestAsSequenceArray:
+    def test_coerces_lists(self):
+        arr = as_sequence_array([1, 2, 3])
+        assert arr.dtype == np.int32
+        assert list(arr) == [1, 2, 3]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SequenceDatabaseError):
+            as_sequence_array([])
+
+    def test_rejects_negative_symbols(self):
+        with pytest.raises(SequenceDatabaseError):
+            as_sequence_array([1, -1, 2])
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(SequenceDatabaseError):
+            as_sequence_array([[1, 2], [3, 4]])
+
+
+class TestInMemoryDatabase:
+    def test_len_and_ids(self):
+        db = SequenceDatabase([[1, 2], [3]])
+        assert len(db) == 2
+        assert db.ids == (0, 1)
+
+    def test_custom_ids(self):
+        db = SequenceDatabase([[1], [2]], ids=[10, 20])
+        assert db.ids == (10, 20)
+        assert list(db.sequence(20)) == [2]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SequenceDatabaseError):
+            SequenceDatabase([[1], [2]], ids=[7, 7])
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(SequenceDatabaseError):
+            SequenceDatabase([[1], [2]], ids=[1])
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(SequenceDatabaseError):
+            SequenceDatabase([])
+
+    def test_unknown_sequence_id(self):
+        db = SequenceDatabase([[1]])
+        with pytest.raises(SequenceDatabaseError):
+            db.sequence(99)
+
+    def test_statistics(self):
+        db = SequenceDatabase([[1, 2, 3], [4]])
+        assert db.total_symbols() == 4
+        assert db.average_length() == 2.0
+        assert db.max_symbol() == 4
+
+    def test_from_strings(self, d_alphabet):
+        db = SequenceDatabase.from_strings(
+            [["d1", "d2"], ["d5"]], d_alphabet
+        )
+        assert list(db.sequence(0)) == [0, 1]
+        assert list(db.sequence(1)) == [4]
+
+
+class TestScanAccounting:
+    def test_scan_counts_passes(self):
+        db = SequenceDatabase([[1], [2]])
+        assert db.scan_count == 0
+        list(db.scan())
+        list(db.scan())
+        assert db.scan_count == 2
+
+    def test_scan_yields_ids_and_sequences(self):
+        db = SequenceDatabase([[1, 2], [3]], ids=[5, 6])
+        rows = list(db.scan())
+        assert rows[0][0] == 5
+        assert list(rows[1][1]) == [3]
+
+    def test_reset_scan_count(self):
+        db = SequenceDatabase([[1]])
+        list(db.scan())
+        db.reset_scan_count()
+        assert db.scan_count == 0
+
+
+class TestSampling:
+    def test_sample_size_exact(self, rng):
+        db = SequenceDatabase([[i] for i in range(100)])
+        sample = db.sample(17, rng)
+        assert len(sample) == 17
+
+    def test_sample_counts_one_scan(self, rng):
+        db = SequenceDatabase([[i] for i in range(10)])
+        db.sample(3, rng)
+        assert db.scan_count == 1
+
+    def test_sample_preserves_original_ids(self, rng):
+        db = SequenceDatabase([[i] for i in range(50)], ids=range(100, 150))
+        sample = db.sample(10, rng)
+        assert all(100 <= sid < 150 for sid in sample.ids)
+
+    def test_sample_all_is_whole_database(self, rng):
+        db = SequenceDatabase([[i] for i in range(5)])
+        sample = db.sample(5, rng)
+        assert sorted(sample.ids) == [0, 1, 2, 3, 4]
+
+    def test_oversample_rejected(self, rng):
+        db = SequenceDatabase([[1], [2]])
+        with pytest.raises(SamplingError):
+            db.sample(3, rng)
+        with pytest.raises(SamplingError):
+            db.sample(0, rng)
+
+    def test_sampling_is_uniform(self):
+        # Every sequence should be selected with probability n/N;
+        # chi-square style sanity check over many repetitions.
+        db = SequenceDatabase([[i] for i in range(20)])
+        counts = np.zeros(20)
+        repetitions = 600
+        rng = np.random.default_rng(7)
+        for _ in range(repetitions):
+            for sid in db.sample(5, rng).ids:
+                counts[sid] += 1
+        expected = repetitions * 5 / 20
+        # Standard deviation of a binomial(600, .25) is ~10.6.
+        assert np.all(np.abs(counts - expected) < 6 * np.sqrt(expected))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        db = SequenceDatabase([[1, 2, 3], [4, 5]], ids=[3, 9])
+        path = tmp_path / "db.txt"
+        db.save(path)
+        loaded = SequenceDatabase.load(path)
+        assert loaded.ids == (3, 9)
+        assert list(loaded.sequence(9)) == [4, 5]
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SequenceDatabase.load(tmp_path / "nope.txt")
+
+    def test_load_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\tx y z\n")
+        with pytest.raises(SequenceDatabaseError, match="malformed"):
+            SequenceDatabase.load(path)
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "db.txt"
+        path.write_text("# header\n\n0\t1 2\n")
+        loaded = SequenceDatabase.load(path)
+        assert len(loaded) == 1
+
+    def test_load_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(SequenceDatabaseError):
+            SequenceDatabase.load(path)
+
+
+class TestFileDatabase:
+    @pytest.fixture
+    def db_file(self, tmp_path):
+        db = SequenceDatabase([[1, 2, 3], [4, 5], [6]])
+        path = tmp_path / "disk.txt"
+        db.save(path)
+        return path
+
+    def test_len_without_counting_scan(self, db_file):
+        fdb = FileSequenceDatabase(db_file)
+        assert len(fdb) == 3
+        assert fdb.scan_count == 0
+
+    def test_scan_streams_and_counts(self, db_file):
+        fdb = FileSequenceDatabase(db_file)
+        rows = list(fdb.scan())
+        assert len(rows) == 3
+        assert fdb.scan_count == 1
+        assert list(rows[0][1]) == [1, 2, 3]
+
+    def test_sample_from_disk(self, db_file, rng):
+        fdb = FileSequenceDatabase(db_file)
+        sample = fdb.sample(2, rng)
+        assert len(sample) == 2
+        assert fdb.scan_count == 1
+
+    def test_materialize(self, db_file):
+        fdb = FileSequenceDatabase(db_file)
+        mem = fdb.materialize()
+        assert isinstance(mem, SequenceDatabase)
+        assert len(mem) == 3
+        assert fdb.scan_count == 1
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SequenceDatabaseError):
+            FileSequenceDatabase(tmp_path / "missing.txt")
+
+    def test_miner_works_on_file_database(self, db_file):
+        # Integration: the disk-backed database satisfies the same
+        # protocol the miners consume.
+        from repro import CompatibilityMatrix
+        from repro.core.match import symbol_matches
+
+        fdb = FileSequenceDatabase(db_file)
+        matrix = CompatibilityMatrix.identity(7)
+        values = symbol_matches(fdb, matrix)
+        assert values[1] == pytest.approx(1 / 3)
+        assert fdb.scan_count == 1

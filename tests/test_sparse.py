@@ -1,0 +1,113 @@
+"""Unit and property tests for the sparse match engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CompatibilityMatrix,
+    Pattern,
+    SequenceDatabase,
+    WILDCARD,
+    database_matches,
+    sequence_match,
+)
+from repro.core.sparse import SparseMatchEngine
+
+
+@pytest.fixture
+def sparse_matrix(rng):
+    return CompatibilityMatrix.random_sparse(12, 0.15, rng=rng)
+
+
+class TestAgreementWithDenseEngine:
+    def test_single_sequence(self, sparse_matrix, rng):
+        engine = SparseMatchEngine(sparse_matrix)
+        for _ in range(30):
+            seq = rng.integers(0, 12, size=int(rng.integers(3, 25)))
+            pattern = Pattern(list(rng.integers(0, 12, size=3)))
+            assert engine.sequence_match(pattern, seq) == pytest.approx(
+                sequence_match(pattern, seq, sparse_matrix)
+            )
+
+    def test_with_wildcards(self, sparse_matrix, rng):
+        engine = SparseMatchEngine(sparse_matrix)
+        pattern = Pattern([3, WILDCARD, 7, WILDCARD, WILDCARD, 1])
+        for _ in range(20):
+            seq = rng.integers(0, 12, size=20)
+            assert engine.sequence_match(pattern, seq) == pytest.approx(
+                sequence_match(pattern, seq, sparse_matrix)
+            )
+
+    def test_database_batch(self, sparse_matrix, rng):
+        engine = SparseMatchEngine(sparse_matrix)
+        db = SequenceDatabase(
+            [rng.integers(0, 12, size=15) for _ in range(20)]
+        )
+        patterns = [
+            Pattern(list(rng.integers(0, 12, size=int(rng.integers(1, 4)))))
+            for _ in range(25)
+        ]
+        sparse_out = engine.database_matches(patterns, db)
+        db.reset_scan_count()
+        dense_out = database_matches(patterns, db, sparse_matrix)
+        for pattern in dense_out:
+            assert sparse_out[pattern] == pytest.approx(dense_out[pattern])
+
+    def test_dense_matrix_also_agrees(self, rng):
+        # The engine must stay correct when the matrix is fully dense.
+        matrix = CompatibilityMatrix.uniform_noise(6, 0.3)
+        engine = SparseMatchEngine(matrix)
+        seq = rng.integers(0, 6, size=18)
+        pattern = Pattern([0, 1, 2])
+        assert engine.sequence_match(pattern, seq) == pytest.approx(
+            sequence_match(pattern, seq, matrix)
+        )
+
+
+class TestSparseBehaviour:
+    def test_density_reported(self, rng):
+        matrix = CompatibilityMatrix.random_sparse(20, 0.1, rng=rng)
+        engine = SparseMatchEngine(matrix)
+        assert engine.density == pytest.approx(matrix.density())
+
+    def test_incompatible_pattern_is_zero(self):
+        # With the identity matrix, a pattern symbol absent from the
+        # sequence yields zero without any window evaluation.
+        engine = SparseMatchEngine(CompatibilityMatrix.identity(5))
+        assert engine.sequence_match(Pattern([4]), [0, 1, 2]) == 0.0
+        assert engine.sequence_match(Pattern([0, 4]), [0, 1, 0]) == 0.0
+
+    def test_short_sequence_is_zero(self, sparse_matrix):
+        engine = SparseMatchEngine(sparse_matrix)
+        assert engine.sequence_match(Pattern([1, 2, 3]), [1]) == 0.0
+
+    def test_empty_pattern_list(self, sparse_matrix):
+        engine = SparseMatchEngine(sparse_matrix)
+        db = SequenceDatabase([[1, 2]])
+        assert engine.database_matches([], db) == {}
+
+    def test_repr(self, sparse_matrix):
+        assert "density" in repr(SparseMatchEngine(sparse_matrix))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seq=st.lists(st.integers(0, 5), min_size=1, max_size=16),
+    pattern_symbols=st.lists(st.integers(0, 5), min_size=1, max_size=3),
+    gap=st.integers(0, 2),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_sparse_equals_dense(seq, pattern_symbols, gap, seed):
+    rng = np.random.default_rng(seed)
+    matrix = CompatibilityMatrix.random_sparse(6, 0.3, rng=rng)
+    elements = [pattern_symbols[0]]
+    for symbol in pattern_symbols[1:]:
+        elements.extend([-1] * gap)
+        elements.append(symbol)
+    pattern = Pattern(elements)
+    engine = SparseMatchEngine(matrix)
+    assert engine.sequence_match(pattern, seq) == pytest.approx(
+        sequence_match(pattern, seq, matrix), abs=1e-12
+    )

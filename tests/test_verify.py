@@ -1,0 +1,175 @@
+"""Unit tests for result verification and auxiliary datagen/harness."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Border,
+    CompatibilityMatrix,
+    LevelwiseMiner,
+    MiningResult,
+    Pattern,
+    PatternConstraints,
+    verify_result,
+)
+from repro.datagen.motifs import Motif
+from repro.datagen.synthetic import markov_database
+from repro.errors import NoisyMineError
+from repro.eval.harness import ExperimentTable
+
+
+class TestVerifyResult:
+    @pytest.fixture
+    def mined(self, fig2_matrix, fig4_database):
+        constraints = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        result = LevelwiseMiner(
+            fig2_matrix, 0.2, constraints=constraints
+        ).mine(fig4_database)
+        return result, constraints
+
+    def test_exact_result_verifies(self, mined, fig2_matrix, fig4_database):
+        result, constraints = mined
+        report = verify_result(
+            result, 0.2, constraints=constraints,
+            database=fig4_database, matrix=fig2_matrix,
+        )
+        assert report.ok
+        assert bool(report)
+        assert "passed" in report.summary()
+
+    def test_threshold_violation_detected(self, mined):
+        result, constraints = mined
+        broken = MiningResult(
+            frequent={**result.frequent, Pattern([4]): 0.01},
+            border=result.border,
+            scans=result.scans,
+        )
+        report = verify_result(broken, 0.2, constraints=constraints)
+        assert not report.ok
+        assert Pattern([4]) in report.threshold_violations
+        assert "below threshold" in report.summary()
+
+    def test_closure_violation_detected(self, mined):
+        result, constraints = mined
+        frequent = dict(result.frequent)
+        # Remove a 1-pattern whose superpatterns are still reported.
+        removed = Pattern([1])
+        assert removed in frequent
+        del frequent[removed]
+        broken = MiningResult(
+            frequent=frequent, border=result.border, scans=1
+        )
+        report = verify_result(broken, 0.2, constraints=constraints)
+        assert removed in report.closure_violations
+
+    def test_border_mismatch_detected(self, mined):
+        result, constraints = mined
+        broken = MiningResult(
+            frequent=result.frequent,
+            border=Border([Pattern([0])]),
+            scans=1,
+        )
+        report = verify_result(broken, 0.2, constraints=constraints)
+        assert report.border_mismatch
+        assert "border mismatch" in report.summary()
+
+    def test_value_mismatch_detected(
+        self, mined, fig2_matrix, fig4_database
+    ):
+        result, constraints = mined
+        frequent = dict(result.frequent)
+        victim = next(iter(frequent))
+        frequent[victim] = min(1.0, frequent[victim] + 0.3)
+        broken = MiningResult(
+            frequent=frequent, border=result.border, scans=1
+        )
+        report = verify_result(
+            broken, 0.2, constraints=constraints,
+            database=fig4_database, matrix=fig2_matrix,
+        )
+        assert victim in report.value_mismatches
+
+    def test_probabilistic_result_verifies_with_tolerance(
+        self, fig2_matrix, fig4_database, rng
+    ):
+        from repro import BorderCollapsingMiner
+
+        constraints = PatternConstraints(max_weight=3, max_span=4, max_gap=1)
+        result = BorderCollapsingMiner(
+            fig2_matrix, 0.2, sample_size=4,
+            constraints=constraints, rng=rng,
+        ).mine(fig4_database)
+        fig4_database.reset_scan_count()
+        report = verify_result(
+            result, 0.2, constraints=constraints,
+            database=fig4_database, matrix=fig2_matrix,
+        )
+        assert report.ok
+
+
+class TestMarkovDatabase:
+    def test_shape_and_symbols(self, rng):
+        db = markov_database(20, 30, 6, rng=rng)
+        assert len(db) == 20
+        assert db.max_symbol() < 6
+
+    def test_persistence_creates_runs(self, rng):
+        sticky = markov_database(30, 80, 6, rng=rng, persistence=0.8)
+        loose = markov_database(
+            30, 80, 6, rng=np.random.default_rng(1), persistence=0.0
+        )
+
+        def repeat_rate(db):
+            repeats = total = 0
+            for _sid, seq in db.scan():
+                repeats += int((seq[1:] == seq[:-1]).sum())
+                total += len(seq) - 1
+            return repeats / total
+
+        assert repeat_rate(sticky) > repeat_rate(loose) + 0.2
+
+    def test_motif_planting(self, rng):
+        motif = Motif(Pattern([1, 2, 3]), frequency=1.0)
+        db = markov_database(15, 20, 6, [motif], rng=rng)
+        for sid in db.ids:
+            text = list(int(v) for v in db.sequence(sid))
+            assert any(
+                text[i : i + 3] == [1, 2, 3] for i in range(len(text) - 2)
+            )
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(NoisyMineError):
+            markov_database(0, 10, 5, rng=rng)
+        with pytest.raises(NoisyMineError):
+            markov_database(5, 10, 5, rng=rng, persistence=1.0)
+
+    def test_minable(self, rng):
+        motif = Motif(Pattern([1, 2, 3, 4]), frequency=0.8)
+        db = markov_database(100, 25, 8, [motif], rng=rng, persistence=0.4)
+        result = LevelwiseMiner(
+            CompatibilityMatrix.identity(8), 0.6,
+            constraints=PatternConstraints(max_weight=4, max_span=5,
+                                           max_gap=0),
+        ).mine(db)
+        assert motif.pattern in result.frequent
+
+
+class TestMarkdownRendering:
+    def test_to_markdown(self):
+        table = ExperimentTable("t", "alpha")
+        table.add(0.1, "acc", 0.97)
+        table.add(0.2, "acc", 0.9)
+        md = table.to_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "| alpha | acc |"
+        assert lines[1] == "|---|---|"
+        assert "| 0.100 | 0.970 |" in lines
+        assert "| 0.200 | 0.900 |" in lines
+
+    def test_to_markdown_missing_cells(self):
+        table = ExperimentTable("t", "x")
+        table.add(1, "a", 5)
+        table.add(2, "b", 6)
+        md = table.to_markdown()
+        assert "| 1 | 5 | - |" in md
+        assert "| 2 | - | 6 |" in md
