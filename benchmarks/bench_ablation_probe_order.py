@@ -105,7 +105,7 @@ def _finalize_ordered(
 def test_ablation_probe_order(benchmark):
     def experiment():
         table = ExperimentTable(
-            f"Ablation: Phase-3 scans by probe order "
+            "Ablation: Phase-3 scans by probe order "
             f"(chain of weight {CHAIN_WEIGHT}, memory {MEMORY_CAPACITY})",
             "probe order",
         )

@@ -1,0 +1,195 @@
+"""Match-engine throughput on the Figure 14 counting workload.
+
+Times :func:`repro.mining.counting.count_matches_batched` — the single
+dispatch point every miner funnels through — for each registered
+backend on the same workload ``bench_fig14_performance.py`` mines: the
+protein-composition standard database, uniform noise ``alpha = 0.1``,
+and a memory capacity of 64 counters per scan.  The pattern set is a
+fixed sample of weight-2..8 patterns, the shape of a Phase-2/Phase-3
+candidate batch.
+
+Engines are timed in *interleaved* rounds (reference, vectorized,
+parallel, reference, ...) so that machine-load drift hits every
+backend equally, and the recorded figure is the best round — the
+standard way to measure capability rather than contention.  The
+vectorized engine is additionally timed with a cleared factor cache
+every round (``cold``) to separate kernel speed from cache reuse.
+
+Run as a script to write ``BENCH_engine.json`` next to the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+or through pytest-benchmark like the figure benchmarks::
+
+    pytest benchmarks/bench_engine_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro import CompatibilityMatrix, Pattern
+from repro.datagen.noise import corrupt_uniform
+from repro.engine import available_engines, get_engine
+from repro.mining.counting import count_matches_batched
+
+from _workloads import build_standard_database, current_scale, run_once
+
+ALPHA = 0.1
+MEMORY_CAPACITY = 64
+ROUNDS = 12
+PATTERNS_PER_LEVEL = 24
+MAX_WEIGHT = 8
+PARENTS_PER_LEVEL = 6
+FREQUENT_SYMBOLS = 12
+PATTERN_SEED = 99
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def candidate_patterns(m: int) -> List[Pattern]:
+    """A fixed sample of level-wise candidate batches (deduplicated).
+
+    Every miner counts batches of rightward extensions of the previous
+    level's survivors (the candidate tree), so the throughput workload
+    is built the same way: per level, a handful of surviving parents
+    is extended by one symbol each and a fixed number of the resulting
+    children is drawn.  The batches therefore exhibit the prefix
+    sharing real candidate batches have.
+    """
+    from repro.core.lattice import PatternConstraints, extend_right
+
+    rng = np.random.default_rng(PATTERN_SEED)
+    constraints = PatternConstraints(
+        max_weight=MAX_WEIGHT, max_span=MAX_WEIGHT, max_gap=0
+    )
+    symbols = sorted(
+        int(d)
+        for d in rng.choice(m, size=min(FREQUENT_SYMBOLS, m), replace=False)
+    )
+    level = [Pattern.single(d) for d in symbols]
+    patterns: List[Pattern] = []
+    while level and max(p.weight for p in level) < MAX_WEIGHT:
+        parents = sorted(level)
+        if len(parents) > PARENTS_PER_LEVEL:
+            picks = rng.choice(
+                len(parents), size=PARENTS_PER_LEVEL, replace=False
+            )
+            parents = [parents[i] for i in sorted(picks)]
+        children = sorted(
+            {
+                child
+                for parent in parents
+                for child in extend_right(parent, symbols, constraints)
+            }
+        )
+        if len(children) > PATTERNS_PER_LEVEL:
+            picks = rng.choice(
+                len(children), size=PATTERNS_PER_LEVEL, replace=False
+            )
+            children = [children[i] for i in sorted(picks)]
+        patterns.extend(children)
+        level = children
+    return list(dict.fromkeys(patterns))
+
+
+def build_workload(scale):
+    std, _motifs, m = build_standard_database(scale, protein=True)
+    rng = np.random.default_rng(scale.noise_seeds[0])
+    test = corrupt_uniform(std, m, ALPHA, rng)
+    matrix = CompatibilityMatrix.uniform_noise(m, ALPHA)
+    return test, matrix, candidate_patterns(m)
+
+
+def measure(scale, rounds: int = ROUNDS) -> Dict:
+    test, matrix, patterns = build_workload(scale)
+    engines = {name: get_engine(name) for name in available_engines()}
+
+    def count(engine):
+        test.reset_scan_count()
+        return count_matches_batched(
+            patterns, test, matrix, MEMORY_CAPACITY, engine=engine
+        )
+
+    # Correctness gate before timing: all backends must agree.
+    results = {name: count(engine) for name, engine in engines.items()}
+    reference_result = results["reference"]
+    for name, result in results.items():
+        worst = max(
+            abs(result[p] - reference_result[p]) for p in patterns
+        )
+        if worst > 1e-12:
+            raise AssertionError(
+                f"engine {name!r} deviates from reference by {worst}"
+            )
+
+    timings: Dict[str, List[float]] = {name: [] for name in engines}
+    timings["vectorized-cold"] = []
+    for _ in range(rounds):
+        for name, engine in engines.items():
+            started = time.perf_counter()
+            count(engine)
+            timings[name].append(time.perf_counter() - started)
+        cache = getattr(engines["vectorized"], "cache", None)
+        if cache is not None:
+            cache.clear()
+            started = time.perf_counter()
+            count(engines["vectorized"])
+            timings["vectorized-cold"].append(
+                time.perf_counter() - started
+            )
+
+    best_reference = min(timings["reference"])
+    report = {
+        "workload": {
+            "benchmark": "bench_fig14 counting workload",
+            "n_sequences": len(test),
+            "alphabet": matrix.size,
+            "alpha": ALPHA,
+            "memory_capacity": MEMORY_CAPACITY,
+            "n_patterns": len(patterns),
+            "pattern_weights": sorted({p.weight for p in patterns}),
+            "rounds": rounds,
+        },
+        "engines": {},
+    }
+    for name, rows in timings.items():
+        best = min(rows)
+        report["engines"][name] = {
+            "best_seconds": best,
+            "median_seconds": sorted(rows)[len(rows) // 2],
+            "patterns_per_sec": len(patterns) / best,
+            "speedup_vs_reference": best_reference / best,
+        }
+    return report
+
+
+def main() -> int:
+    report = measure(current_scale())
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    for name, row in report["engines"].items():
+        print(
+            f"{name:16s} best {row['best_seconds'] * 1000:7.1f} ms   "
+            f"{row['patterns_per_sec']:8.0f} patterns/s   "
+            f"{row['speedup_vs_reference']:.2f}x vs reference"
+        )
+    print(f"wrote {OUTPUT}")
+    speedup = report["engines"]["vectorized"]["speedup_vs_reference"]
+    if speedup < 5.0:
+        print(f"WARNING: vectorized speedup {speedup:.2f}x is below 5x")
+        return 1
+    return 0
+
+
+def test_engine_throughput(benchmark, scale):
+    """pytest-benchmark entry point mirroring the figure benchmarks."""
+    report = run_once(benchmark, lambda: measure(scale, rounds=3))
+    assert report["engines"]["vectorized"]["speedup_vs_reference"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,7 +68,7 @@ def main() -> None:
         path = os.path.join(tmp, "sequences.txt")
         noisy.save(path)
         print(
-            f"database: 600 sequences, planted pattern of "
+            "database: 600 sequences, planted pattern of "
             f"{CHAIN_WEIGHT} symbols, memory budget "
             f"{MEMORY_CAPACITY} counters/scan\n"
         )

@@ -39,7 +39,7 @@ def banded_channel(n_levels: int, boundary_slip: float) -> np.ndarray:
     channel = np.zeros((n_levels, n_levels))
     for level in range(n_levels):
         neighbours = [
-            l for l in (level - 1, level + 1) if 0 <= l < n_levels
+            lv for lv in (level - 1, level + 1) if 0 <= lv < n_levels
         ]
         channel[level, level] = 1.0 - boundary_slip
         for neighbour in neighbours:

@@ -56,6 +56,15 @@ from .datagen import (
     uniform_channel,
     uniform_noise_setup,
 )
+from .engine import (
+    MatchEngine,
+    ParallelEngine,
+    ReferenceEngine,
+    VectorizedBatchEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from .errors import (
     AlphabetError,
     CompatibilityMatrixError,
@@ -124,6 +133,13 @@ __all__ = [
     "write_fasta",
     "uniform_channel",
     "uniform_noise_setup",
+    "MatchEngine",
+    "ParallelEngine",
+    "ReferenceEngine",
+    "VectorizedBatchEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "AlphabetError",
     "CompatibilityMatrixError",
     "MiningError",

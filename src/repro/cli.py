@@ -26,6 +26,7 @@ from .core.lattice import PatternConstraints
 from .core.pattern import Pattern
 from .core.sequence import FileSequenceDatabase
 from .datagen.motifs import Motif, random_motif
+from .engine import available_engines, get_engine
 from .datagen.noise import corrupt_uniform
 from .datagen.synthetic import generate_database
 from .errors import NoisyMineError
@@ -104,6 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--max-span", type=int, default=10)
     mine.add_argument("--max-gap", type=int, default=0)
     mine.add_argument("--memory-capacity", type=int, default=None)
+    mine.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="match-execution backend: 'reference' (per-sequence loops), "
+             "'vectorized' (batched numpy kernels + factor cache), or "
+             "'parallel' (multiprocessing shards); results and scan "
+             "counts are identical across backends "
+             "(default: $NOISYMINE_ENGINE, else 'reference')",
+    )
     mine.add_argument("--seed", type=int, default=None)
     mine.add_argument(
         "--json", action="store_true",
@@ -185,41 +196,46 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     )
     rng = np.random.default_rng(args.seed)
     sample_size = args.sample_size or max(1, len(database) // 4)
+    # Resolve once so --engine omitted honours $NOISYMINE_ENGINE (and an
+    # invalid variable fails loudly instead of silently running the
+    # default backend).
+    engine = get_engine(args.engine)
     if args.algorithm == "border-collapsing":
         miner = BorderCollapsingMiner(
             matrix, args.min_match, sample_size=sample_size,
             delta=args.delta, constraints=constraints,
-            memory_capacity=args.memory_capacity, rng=rng,
+            memory_capacity=args.memory_capacity, rng=rng, engine=engine,
         )
     elif args.algorithm == "levelwise":
         miner = LevelwiseMiner(
             matrix, args.min_match, constraints=constraints,
-            memory_capacity=args.memory_capacity,
+            memory_capacity=args.memory_capacity, engine=engine,
         )
     elif args.algorithm == "maxminer":
         miner = MaxMiner(
             matrix, args.min_match, constraints=constraints,
-            memory_capacity=args.memory_capacity,
+            memory_capacity=args.memory_capacity, engine=engine,
         )
     elif args.algorithm == "pincer":
         miner = PincerMiner(
             matrix, args.min_match, constraints=constraints,
-            memory_capacity=args.memory_capacity,
+            memory_capacity=args.memory_capacity, engine=engine,
         )
     elif args.algorithm == "depthfirst":
         miner = DepthFirstMiner(
-            matrix, args.min_match, constraints=constraints,
+            matrix, args.min_match, constraints=constraints, engine=engine,
         )
     else:
         miner = ToivonenMiner(
             matrix, args.min_match, sample_size=sample_size,
             delta=args.delta, constraints=constraints,
-            memory_capacity=args.memory_capacity, rng=rng,
+            memory_capacity=args.memory_capacity, rng=rng, engine=engine,
         )
     result = miner.mine(database)
     if args.json:
         payload = {
             "algorithm": args.algorithm,
+            "engine": engine.name,
             "min_match": args.min_match,
             **result.to_dict(),
         }

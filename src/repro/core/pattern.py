@@ -61,7 +61,7 @@ class Pattern:
         for e in elems:
             if e < WILDCARD:
                 raise PatternError(
-                    f"pattern elements must be symbol indices >= 0 or "
+                    "pattern elements must be symbol indices >= 0 or "
                     f"WILDCARD (-1), got {e}"
                 )
         self._elements = elems

@@ -33,6 +33,25 @@ from .alphabet import Alphabet
 SequenceLike = Union[Sequence[int], np.ndarray]
 
 
+def _sampling_rng(
+    rng: Optional[np.random.Generator], seed: Optional[int]
+) -> np.random.Generator:
+    """Resolve the sampling RNG from an explicit generator or a seed.
+
+    Both database backends route through this helper so that the same
+    ``seed`` draws the same random stream — and therefore, given equal
+    scan order, selects the same sequence ids — regardless of backend.
+    """
+    if rng is not None and seed is not None:
+        raise SamplingError(
+            "pass either rng or seed, not both: an explicit generator "
+            "already fixes the random stream"
+        )
+    if seed is not None:
+        return np.random.default_rng(seed)
+    return rng or np.random.default_rng()
+
+
 def as_sequence_array(sequence: SequenceLike) -> np.ndarray:
     """Coerce a symbol-index sequence to a 1-D ``int32`` numpy array."""
     array = np.asarray(sequence, dtype=np.int32)
@@ -151,7 +170,10 @@ class SequenceDatabase:
     # -- sampling -----------------------------------------------------------
 
     def sample(
-        self, n: int, rng: Optional[np.random.Generator] = None
+        self,
+        n: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ) -> "SequenceDatabase":
         """Draw a uniform sample of *n* sequences in one sequential pass.
 
@@ -160,22 +182,26 @@ class SequenceDatabase:
         already chosen among the first ``i``.  The pass is counted via
         :attr:`scan_count` because the paper folds sampling into the
         Phase-1 scan.
+
+        An explicit *seed* makes the draw deterministic: the same seed
+        selects the same sequence ids from the same database, on this
+        backend and on :class:`FileSequenceDatabase` alike.  *rng* and
+        *seed* are mutually exclusive.
         """
-        selected = list(self._select_sample(n, rng))
+        selected = list(self._select_sample(n, _sampling_rng(rng, seed)))
         return SequenceDatabase(
             [seq for _sid, seq in selected],
             ids=[sid for sid, _seq in selected],
         )
 
     def _select_sample(
-        self, n: int, rng: Optional[np.random.Generator]
+        self, n: int, rng: np.random.Generator
     ) -> Iterator[Tuple[int, np.ndarray]]:
         total = len(self)
         if not 0 < n <= total:
             raise SamplingError(
                 f"cannot sample {n} sequences from a database of {total}"
             )
-        rng = rng or np.random.default_rng()
         chosen = 0
         for seen, (sid, seq) in enumerate(self.scan()):
             remaining_needed = n - chosen
@@ -254,16 +280,25 @@ class FileSequenceDatabase:
         yield from _read_sequence_file(self._path)
 
     def sample(
-        self, n: int, rng: Optional[np.random.Generator] = None
+        self,
+        n: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ) -> SequenceDatabase:
         """Sequential uniform sampling (Algorithm 4.1); returns an
-        in-memory database, as the sample is what Phase 2 mines."""
+        in-memory database, as the sample is what Phase 2 mines.
+
+        The same explicit *seed* selects the same sequence ids as
+        :meth:`SequenceDatabase.sample` would on the in-memory copy of
+        this file (both backends draw the identical random stream in
+        the identical scan order).
+        """
         total = len(self)
         if not 0 < n <= total:
             raise SamplingError(
                 f"cannot sample {n} sequences from a database of {total}"
             )
-        rng = rng or np.random.default_rng()
+        rng = _sampling_rng(rng, seed)
         ids: List[int] = []
         rows: List[np.ndarray] = []
         chosen = 0

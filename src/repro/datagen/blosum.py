@@ -96,7 +96,6 @@ def blosum50_channel(
             f"temperature must be positive, got {temperature}"
         )
     scores = blosum50_matrix()
-    m = scores.shape[0]
     weights = np.exp(scores / temperature)
     np.fill_diagonal(weights, 0.0)
     row_sums = weights.sum(axis=1, keepdims=True)

@@ -1,0 +1,50 @@
+"""Pluggable match-execution engines.
+
+This package is the execution layer behind every ``M(P, D)``
+evaluation: a :class:`~repro.engine.base.MatchEngine` protocol with
+three interchangeable backends —
+
+* :class:`~repro.engine.reference.ReferenceEngine` (``"reference"``) —
+  the original per-sequence code paths, unchanged;
+* :class:`~repro.engine.vectorized.VectorizedBatchEngine`
+  (``"vectorized"``) — batched chunk kernels plus a factor-row cache;
+* :class:`~repro.engine.parallel.ParallelEngine` (``"parallel"``) —
+  sequence shards across a ``multiprocessing`` pool.
+
+All three agree on every match value; they differ only in throughput
+profile.  See ``docs/API.md`` ("Execution engines") for selection
+guidance.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    DEFAULT_ENGINE_NAME,
+    ENGINE_ENV_VAR,
+    EngineSpec,
+    MatchEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from .parallel import ParallelEngine
+from .reference import ReferenceEngine
+from .vectorized import FactorCache, VectorizedBatchEngine
+
+register_engine("reference", ReferenceEngine)
+register_engine("vectorized", VectorizedBatchEngine)
+register_engine("parallel", ParallelEngine)
+
+__all__ = [
+    "DEFAULT_ENGINE_NAME",
+    "ENGINE_ENV_VAR",
+    "EngineSpec",
+    "FactorCache",
+    "MatchEngine",
+    "ParallelEngine",
+    "ReferenceEngine",
+    "VectorizedBatchEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]

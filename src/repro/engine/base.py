@@ -1,0 +1,246 @@
+"""The :class:`MatchEngine` protocol and the backend registry.
+
+A match engine is the execution layer behind every ``M(P, D)``
+evaluation in the repository: miners hand a batch of patterns to
+:func:`repro.mining.counting.count_matches_batched`, which dispatches
+each memory-capacity-sized batch to an engine.  The engine owns *how*
+the batch is evaluated (plain per-sequence loops, batched vectorized
+kernels, a worker pool); the paper's observable cost model — exactly
+one ``database.scan()`` per dispatched batch — is part of the protocol
+contract and is identical across backends.
+
+Three backends ship with the repository:
+
+``reference``
+    :class:`~repro.engine.reference.ReferenceEngine` — wraps the
+    original ``repro.core.match`` code paths unchanged.  The semantic
+    baseline every other backend is tested against.
+``vectorized``
+    :class:`~repro.engine.vectorized.VectorizedBatchEngine` — pads
+    sequence chunks into ``(N, L)`` symbol matrices and evaluates a
+    whole batch of same-span patterns per chunk in a few numpy
+    operations, with a factor-row cache keyed by
+    ``(matrix fingerprint, padded-chunk content digest)``.
+``parallel``
+    :class:`~repro.engine.parallel.ParallelEngine` — shards sequence
+    chunks across a ``multiprocessing`` pool with worker-local
+    compatibility matrices and merges partial per-pattern sums.
+
+Select a backend by name through ``engine=`` on any miner or
+``--engine`` on the CLI; the ``NOISYMINE_ENGINE`` environment variable
+changes the default for a whole process.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Callable, Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from ..core.compatibility import CompatibilityMatrix
+from ..core.match import (
+    segment_match as _core_segment_match,
+    sequence_match as _core_sequence_match,
+    symbol_sequence_matches,
+)
+from ..core.pattern import Pattern
+from ..core.sequence import AnySequenceDatabase, SequenceLike
+from ..errors import MiningError
+
+#: Environment variable overriding the default backend name.
+ENGINE_ENV_VAR = "NOISYMINE_ENGINE"
+
+#: Backend used when no engine is requested anywhere.
+DEFAULT_ENGINE_NAME = "reference"
+
+
+class MatchEngine(abc.ABC):
+    """Protocol for match-execution backends.
+
+    Subclasses must implement :meth:`database_matches` and may override
+    the other hooks; the defaults delegate to the reference code paths
+    in :mod:`repro.core.match`, so a minimal backend only has to supply
+    the batched database kernel.
+
+    Contract
+    --------
+    * :meth:`database_matches` consumes **exactly one**
+      ``database.scan()`` per call, whatever the backend does
+      internally — the paper's scan accounting depends on it.
+    * All backends agree with the reference engine on every match value
+      (the equivalence suite in ``tests/test_engines.py`` pins this to
+      within ``1e-12``; the window products themselves are bit-exact).
+    """
+
+    #: Registry name of the backend (e.g. ``"vectorized"``).
+    name: str = "abstract"
+
+    # -- single pattern hooks (reference implementations) --------------------
+
+    def segment_match(
+        self,
+        pattern: Pattern,
+        segment: SequenceLike,
+        matrix: CompatibilityMatrix,
+    ) -> float:
+        """``M(P, s)`` for a segment of exactly the pattern's span."""
+        return _core_segment_match(pattern, segment, matrix)
+
+    def sequence_match(
+        self,
+        pattern: Pattern,
+        sequence: SequenceLike,
+        matrix: CompatibilityMatrix,
+    ) -> float:
+        """``M(P, S)``: best sliding-window match in one sequence."""
+        return _core_sequence_match(pattern, sequence, matrix)
+
+    # -- batched hooks --------------------------------------------------------
+
+    @abc.abstractmethod
+    def database_matches(
+        self,
+        patterns: Sequence[Pattern],
+        database: AnySequenceDatabase,
+        matrix: CompatibilityMatrix,
+    ) -> Dict[Pattern, float]:
+        """``M(P, D)`` for a batch of patterns in **one** database scan."""
+
+    def symbol_matches(
+        self,
+        database: AnySequenceDatabase,
+        matrix: CompatibilityMatrix,
+    ) -> np.ndarray:
+        """Phase 1: the match of every 1-pattern, in one scan."""
+        totals = np.zeros(matrix.size, dtype=np.float64)
+        count = 0
+        for _sid, seq in database.scan():
+            totals += symbol_sequence_matches(seq, matrix)
+            count += 1
+        if count == 0:
+            raise MiningError(
+                "cannot compute symbol matches over an empty database"
+            )
+        return totals / count
+
+    def symbol_matches_rows(
+        self,
+        sequences: Sequence[np.ndarray],
+        matrix: CompatibilityMatrix,
+    ) -> np.ndarray:
+        """Per-symbol matches of already-materialised sequences.
+
+        Used by memory-resident miners (e.g. the depth-first class)
+        that hold the database as a list of rows; no scan accounting
+        applies.
+        """
+        if not len(sequences):
+            raise MiningError(
+                "cannot compute symbol matches over an empty database"
+            )
+        totals = np.zeros(matrix.size, dtype=np.float64)
+        for seq in sequences:
+            totals += symbol_sequence_matches(seq, matrix)
+        return totals / len(sequences)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, caches).  Idempotent."""
+
+    def __enter__(self) -> "MatchEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+EngineSpec = Union[None, str, MatchEngine]
+
+_FACTORIES: Dict[str, Callable[[], MatchEngine]] = {}
+_INSTANCES: Dict[str, MatchEngine] = {}
+
+
+def register_engine(name: str, factory: Callable[[], MatchEngine]) -> None:
+    """Register a backend *factory* under *name* (overwrites quietly)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_engines() -> List[str]:
+    """Names of the registered backends, sorted."""
+    return sorted(_FACTORIES)
+
+
+def get_engine(spec: EngineSpec = None) -> MatchEngine:
+    """Resolve an engine specification to a live backend.
+
+    * ``None`` — the process default: the ``NOISYMINE_ENGINE``
+      environment variable if set, else ``"reference"``;
+    * a registered name — the shared instance for that backend
+      (instances are cached so the vectorized factor cache and the
+      parallel worker pool persist across calls);
+    * a :class:`MatchEngine` instance — returned unchanged.
+    """
+    if isinstance(spec, MatchEngine):
+        return spec
+    if spec is None:
+        spec = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE_NAME
+    if not isinstance(spec, str):
+        raise MiningError(
+            f"engine must be a backend name or MatchEngine, got {spec!r}"
+        )
+    if spec not in _FACTORIES:
+        raise MiningError(
+            f"unknown match engine {spec!r}; "
+            f"available engines: {', '.join(available_engines())}"
+        )
+    if spec not in _INSTANCES:
+        _INSTANCES[spec] = _FACTORIES[spec]()
+    return _INSTANCES[spec]
+
+
+def unique_patterns(patterns: Iterable[Pattern]) -> List[Pattern]:
+    """Order-preserving deduplication (shared by engines and counting)."""
+    return list(dict.fromkeys(patterns))
+
+
+def matrix_fingerprint(matrix: CompatibilityMatrix) -> "tuple":
+    """A cheap, content-based cache key component for a matrix."""
+    return (matrix.size, hash(matrix))
+
+
+def scan_rows(
+    database: AnySequenceDatabase,
+) -> "tuple[List[int], List[np.ndarray]]":
+    """Consume one full scan into ``(ids, rows)`` lists."""
+    ids: List[int] = []
+    rows: List[np.ndarray] = []
+    for sid, seq in database.scan():
+        ids.append(sid)
+        rows.append(np.asarray(seq))
+    return ids, rows
+
+
+def empty_database_guard(count: int) -> None:
+    """Raise the reference error message for zero scanned sequences."""
+    if count == 0:
+        raise MiningError("cannot compute matches over an empty database")
+
+
+__all__ = [
+    "DEFAULT_ENGINE_NAME",
+    "ENGINE_ENV_VAR",
+    "EngineSpec",
+    "MatchEngine",
+    "available_engines",
+    "get_engine",
+    "matrix_fingerprint",
+    "register_engine",
+    "unique_patterns",
+]

@@ -1,0 +1,368 @@
+"""Shared numpy kernels for the batched match-execution backends.
+
+The kernels operate on *chunks*: a group of sequences padded into one
+``(N, L)`` symbol matrix so a whole batch of same-span patterns can be
+evaluated against every sequence of the chunk with a handful of numpy
+operations, instead of one Python iteration per (pattern, sequence)
+pair.
+
+Memory layout
+-------------
+The factor array is stored *position-major*: ``(m + 1, L, N)`` with
+the sequence axis innermost.  The window reduction then multiplies and
+maximises over contiguous ``(windows, N)`` planes, which keeps the
+accumulator streaming through cache and makes the ``max`` reduction an
+inner-axis-contiguous operation — several times faster than reducing
+over a strided last axis.  Window products are accumulated *row-wise*:
+every multiply reads two ``(windows, N)`` views (a score row and a
+factor-array plane) and writes one score row, so no intermediate
+right-hand-side gather or prefix fan-out copy is ever materialised —
+per-window element traffic is one multiply and one store, the
+streaming lower bound for this evaluation order.
+
+Padding convention
+------------------
+Sequences are right-padded with the virtual *pad symbol* ``m`` (one
+past the alphabet).  The extended compatibility matrix built by
+:func:`extended_matrix` gives every real symbol compatibility ``0``
+with the pad symbol, so any window that extends past the end of a
+sequence multiplies in a ``0.0`` factor at its (always fixed) last
+position and drops out of the per-sequence maximum — exactly the
+semantics of the unpadded reference evaluation, where such windows are
+never enumerated.  The wildcard keeps its own all-ones row ``m`` on
+the *true-symbol* axis, mirroring ``repro.core.match.database_matches``.
+
+Bit-compatibility
+-----------------
+For every real window the factors are gathered from the same matrix
+entries and multiplied in the same offset order as the reference
+implementation, so the per-window products — and therefore the
+per-sequence maxima — are bit-identical to the reference engine.  Only
+the order in which per-sequence maxima are *summed* differs (pairwise
+instead of sequential), which perturbs ``M(P, D)`` by at most a few
+ulps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.pattern import Pattern, WILDCARD
+from ..errors import MiningError
+
+#: Default number of sequences evaluated per padded chunk.  The
+#: row-wise kernel touches only a few ``(windows, N)`` planes per
+#: operation, so cache residency no longer caps the chunk; larger
+#: chunks amortise per-operation Python overhead until right-padding
+#: waste (every sequence pads to the chunk maximum) takes over.
+DEFAULT_CHUNK_ROWS = 256
+
+
+def extended_matrix(c: np.ndarray) -> np.ndarray:
+    """Extend an ``(m, m)`` compatibility matrix for batched kernels.
+
+    Returns an ``(m + 1, m + 1)`` array: row ``m`` is the wildcard
+    (all ones against real symbols) and column ``m`` is the pad symbol
+    (compatibility zero with every real symbol, so windows overlapping
+    the padding score exactly ``0.0``).
+    """
+    m = c.shape[0]
+    ext = np.zeros((m + 1, m + 1), dtype=np.float64)
+    ext[:m, :m] = c
+    ext[m, :m] = 1.0
+    return ext
+
+
+def group_patterns_by_span(
+    patterns: Sequence[Pattern], m: int
+) -> Tuple[Dict[int, List[int]], Dict[int, np.ndarray]]:
+    """Group patterns by span and build their element matrices.
+
+    Returns ``(indices_by_span, elements_by_span)`` where
+    ``elements_by_span[span]`` is a ``(B, span)`` int64 matrix with the
+    wildcard remapped to the virtual symbol ``m`` — the same remapping
+    the reference evaluation uses.
+    """
+    groups: Dict[int, List[int]] = {}
+    for index, pattern in enumerate(patterns):
+        groups.setdefault(pattern.span, []).append(index)
+    elements = {
+        span: np.array(
+            [
+                [e if e != WILDCARD else m for e in patterns[i].elements]
+                for i in indices
+            ],
+            dtype=np.int64,
+        )
+        for span, indices in groups.items()
+    }
+    return groups, elements
+
+
+def pad_chunk(rows: Sequence[np.ndarray], m: int) -> np.ndarray:
+    """Right-pad a list of sequences into one ``(N, L)`` symbol matrix.
+
+    The pad symbol is ``m``.  Raises :class:`MiningError` when a
+    sequence contains a symbol outside the matrix alphabet (the padded
+    gather would silently alias it with the pad symbol otherwise).
+    """
+    lengths = np.array([len(r) for r in rows])
+    length = int(lengths.max(initial=0))
+    padded = np.full((len(rows), length), m, dtype=np.int64)
+    if length:
+        # One boolean scatter instead of a per-row assignment loop.
+        mask = np.arange(length) < lengths[:, None]
+        padded[mask] = np.concatenate(rows)
+    # Whole-chunk validation: a real symbol is invalid iff it is >= m.
+    # Padding slots legitimately hold m, so a chunk is valid when the
+    # overall max is below m, or equals m with exactly the padding
+    # slots accounting for every occurrence.
+    top = int(padded.max(initial=0))
+    if top > m or (
+        top == m
+        and int((padded == m).sum()) != padded.size - int(lengths.sum())
+    ):
+        bad = max((int(r.max()) for r in rows if len(r)), default=0)
+        raise MiningError(
+            f"sequence contains symbol {bad} but the compatibility "
+            f"matrix only covers {m} symbols"
+        )
+    return padded
+
+
+def gather_chunk(c_ext: np.ndarray, padded: np.ndarray) -> np.ndarray:
+    """Factor-row gather: ``result[d, t, i] = c_ext[d, padded[i, t]]``.
+
+    One fancy-indexed gather per chunk replaces the per-sequence
+    ``c_ext[:, seq]`` gathers of the reference path; the result is the
+    cacheable *factor array* of shape ``(m + 1, L, N)`` — position
+    major, sequences innermost (see the module docstring).
+
+    The explicit contiguity copy matters: fancy-indexing through the
+    transposed index array yields a buffer laid out in the *index's*
+    memory order (symbol axis innermost), which would make every
+    downstream window slice strided.
+    """
+    return np.ascontiguousarray(c_ext[:, padded.T])
+
+
+#: One level of a prefix-sharing evaluation plan: the symbol column to
+#: multiply in at this offset, and (for non-root levels) the optional
+#: inverse map expanding deduplicated prefix rows back to this level's
+#: rows (``None`` when every prefix is distinct and rows stay aligned).
+PlanLevel = Tuple[np.ndarray, Optional[np.ndarray]]
+
+
+def prefix_plan(elements: np.ndarray) -> List[PlanLevel]:
+    """Build the shared-prefix evaluation plan for one span group.
+
+    Candidate batches produced by rightward extension share their
+    ``(k-1)``-prefixes: a level-``k`` candidate is a surviving pattern
+    plus one more symbol, so a batch of ``B`` children typically
+    descends from far fewer distinct parents.  Because window products
+    are accumulated left-to-right, the product of a shared prefix is
+    exactly the left-associated partial product of every child — it
+    can be computed once per distinct prefix and fanned out, keeping
+    the per-window products bit-identical to the flat evaluation.
+
+    The plan is pattern-only (independent of any chunk), so callers
+    build it once per batch and replay it on every chunk.  Level ``o``
+    of the returned list holds the symbol column multiplied at offset
+    ``o`` and the inverse map that expands the deduplicated prefix
+    rows of level ``o - 1`` to this level (``None`` when prefixes are
+    already distinct).  For batches with no shared prefixes the plan
+    replays the plain offset-order product with no extra copies.
+
+    Prefixes are deduplicated by *adjacent runs* rather than a full
+    ``np.unique(axis=0)``: miners count candidates in sorted order, so
+    equal prefixes are adjacent and run-merging finds all of them in
+    ``O(B * span)`` cheap comparisons (a sorted ``unique`` per level is
+    ~10x the cost of the multiplies it saves on these small batches).
+    On unsorted input the plan stays correct — non-adjacent duplicate
+    prefixes are merely evaluated per run instead of once.
+    """
+    levels: List[PlanLevel] = []
+    current = elements
+    while current.shape[1] > 1:
+        prefix = current[:, :-1]
+        starts = np.empty(prefix.shape[0], dtype=bool)
+        starts[0] = True
+        np.any(prefix[1:] != prefix[:-1], axis=1, out=starts[1:])
+        runs = int(starts.sum())
+        if runs == prefix.shape[0]:
+            # All prefixes distinct: keep this level's row order so the
+            # child multiply needs no expansion copy.
+            levels.append((current[:, -1], None))
+        else:
+            inverse = np.cumsum(starts) - 1
+            levels.append((current[:, -1], inverse))
+        current = prefix[starts]
+    levels.append((current[:, 0], None))
+    levels.reverse()
+    return levels
+
+
+def chunk_group_maxima(
+    gathered: np.ndarray,
+    elements: np.ndarray,
+    plan: Optional[List[PlanLevel]] = None,
+    scratch: Optional[Dict[tuple, np.ndarray]] = None,
+) -> np.ndarray:
+    """Per-sequence best-window match for a batch of same-span patterns.
+
+    Parameters
+    ----------
+    gathered:
+        ``(m + 1, L, N)`` factor array from :func:`gather_chunk`.
+    elements:
+        ``(B, span)`` element matrix (wildcard already remapped).
+    plan:
+        Optional precomputed :func:`prefix_plan` for *elements*
+        (rebuilt on the fly when omitted).
+    scratch:
+        Optional dict reused across calls to recycle the ``(B, W, N)``
+        score buffer instead of reallocating it per chunk.
+
+    Returns the ``(B, N)`` matrix of ``M(P, S)`` values.  Sequences
+    shorter than the span contribute ``0.0`` via the pad convention.
+
+    Products are accumulated row by row: score row ``r`` is multiplied
+    in place by the ``(windows, N)`` *view* ``gathered[d, o:o+W]`` of
+    its offset-``o`` symbol, so the right-hand factors are never
+    copied.  Levels that fan a shared prefix out to its children fuse
+    the copy into the multiply (``out=`` a fresh row) and walk rows in
+    descending order — run-merged prefixes guarantee ``inv[r] <= r``,
+    so a parent row is only overwritten by its own first child, where
+    the in-place elementwise product is safe.  Factors multiply in the
+    same offset order as the reference evaluation, so every product is
+    bit-identical to it.
+    """
+    length, n = gathered.shape[1], gathered.shape[2]
+    b, span = elements.shape
+    windows = length - span + 1
+    if windows <= 0:
+        return np.zeros((b, n), dtype=np.float64)
+    if plan is None:
+        plan = prefix_plan(elements)
+    symbols0, _ = plan[0]
+    if span == 1:
+        return gathered[symbols0, 0:windows, :].max(axis=1)
+    # Level sizes are non-decreasing down the plan, so one (B, W, N)
+    # buffer serves every level as a leading-rows view.
+    key = (b, windows, n)
+    if scratch is None:
+        full = np.empty(key, dtype=np.float64)
+    else:
+        full = scratch.get(key)
+        if full is None:
+            full = scratch[key] = np.empty(key, dtype=np.float64)
+    symbols, inverse = plan[1]
+    scores = full[: len(symbols)]
+    for r in range(len(symbols) - 1, -1, -1):
+        root = symbols0[inverse[r] if inverse is not None else r]
+        np.multiply(
+            gathered[root, 0:windows, :],
+            gathered[symbols[r], 1 : 1 + windows, :],
+            out=scores[r],
+        )
+    for offset in range(2, span):
+        symbols, inverse = plan[offset]
+        scores = full[: len(symbols)]
+        stop = offset + windows
+        if inverse is None:
+            for r in range(len(symbols)):
+                np.multiply(
+                    scores[r],
+                    gathered[symbols[r], offset:stop, :],
+                    out=scores[r],
+                )
+        else:
+            for r in range(len(symbols) - 1, -1, -1):
+                np.multiply(
+                    scores[inverse[r]],
+                    gathered[symbols[r], offset:stop, :],
+                    out=scores[r],
+                )
+    return scores.max(axis=1)
+
+
+def group_plans(
+    elements_by_span: Dict[int, np.ndarray]
+) -> Dict[int, List[PlanLevel]]:
+    """Prefix plans for every span group of a batch (built once)."""
+    return {
+        span: prefix_plan(elements)
+        for span, elements in elements_by_span.items()
+    }
+
+
+def chunk_database_totals(
+    gathered: np.ndarray,
+    groups: Dict[int, List[int]],
+    elements_by_span: Dict[int, np.ndarray],
+    totals: np.ndarray,
+    plans: Optional[Dict[int, List[PlanLevel]]] = None,
+    scratch: Optional[Dict[tuple, np.ndarray]] = None,
+) -> None:
+    """Accumulate one chunk's per-pattern match sums into *totals*."""
+    for span, indices in groups.items():
+        maxima = chunk_group_maxima(
+            gathered,
+            elements_by_span[span],
+            plans[span] if plans is not None else None,
+            scratch,
+        )
+        totals[indices] += maxima.sum(axis=1)
+
+
+def rows_database_totals(
+    rows: Sequence[np.ndarray],
+    c_ext: np.ndarray,
+    groups: Dict[int, List[int]],
+    elements_by_span: Dict[int, np.ndarray],
+    n_patterns: int,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> np.ndarray:
+    """Sum of per-sequence maxima for in-memory *rows*, chunked.
+
+    The self-contained primitive both the vectorized backend (below the
+    cache layer) and the parallel workers share.
+    """
+    m = c_ext.shape[0] - 1
+    totals = np.zeros(n_patterns, dtype=np.float64)
+    plans = group_plans(elements_by_span)
+    scratch: Dict[tuple, np.ndarray] = {}
+    for start in range(0, len(rows), chunk_rows):
+        chunk = rows[start : start + chunk_rows]
+        gathered = gather_chunk(c_ext, pad_chunk(chunk, m))
+        chunk_database_totals(
+            gathered, groups, elements_by_span, totals, plans, scratch
+        )
+    return totals
+
+
+def chunk_symbol_totals(gathered: np.ndarray) -> np.ndarray:
+    """Per-symbol match sums over one chunk (Phase-1 kernel).
+
+    ``result[d] = sum over sequences of max_t C(d, observed_t)``; the
+    pad column is all zeros so padding never wins the maximum.
+    """
+    m = gathered.shape[0] - 1
+    return gathered[:m].max(axis=1).sum(axis=1)
+
+
+def rows_symbol_totals(
+    rows: Sequence[np.ndarray],
+    c_ext: np.ndarray,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> np.ndarray:
+    """Per-symbol match sums for in-memory *rows*, chunked."""
+    m = c_ext.shape[0] - 1
+    totals = np.zeros(m, dtype=np.float64)
+    for start in range(0, len(rows), chunk_rows):
+        chunk = rows[start : start + chunk_rows]
+        gathered = gather_chunk(c_ext, pad_chunk(chunk, m))
+        totals += chunk_symbol_totals(gathered)
+    return totals

@@ -1,0 +1,250 @@
+"""Parallel backend: sequence shards across a ``multiprocessing`` pool.
+
+:class:`ParallelEngine` consumes one database scan in the parent (so
+the paper's scan accounting is untouched), splits the sequences into
+contiguous shards, and evaluates each shard in a worker process with
+the same chunked kernels the vectorized backend uses.  Per-pattern
+partial sums come back as plain float arrays and are merged in shard
+order, so the result differs from a single-process evaluation only by
+floating-point summation association (a few ulps).
+
+Worker-local state
+------------------
+The extended compatibility matrix is shipped **once**, at pool
+creation, through the pool initializer; tasks then reference it via a
+module global instead of re-pickling ``8 m²`` bytes per batch.  When a
+call arrives with a different matrix the pool is rebuilt (miners use
+one matrix per run, so this is rare).
+
+When the database is too small to be worth sharding (fewer than
+``min_shard_rows`` sequences per worker) or the engine is configured
+with a single worker, the evaluation runs inline in the parent with
+identical semantics and no pool is ever created.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.compatibility import CompatibilityMatrix
+from ..core.pattern import Pattern
+from ..core.sequence import AnySequenceDatabase
+from ..errors import MiningError
+from .base import (
+    MatchEngine,
+    empty_database_guard,
+    matrix_fingerprint,
+    scan_rows,
+)
+from .kernels import (
+    DEFAULT_CHUNK_ROWS,
+    extended_matrix,
+    group_patterns_by_span,
+    rows_database_totals,
+    rows_symbol_totals,
+)
+
+#: Below this many sequences per worker, sharding costs more than it saves.
+DEFAULT_MIN_SHARD_ROWS = 64
+
+# -- worker side ---------------------------------------------------------------
+
+_WORKER_C_EXT: Optional[np.ndarray] = None
+
+
+def _init_worker(c_ext: np.ndarray) -> None:
+    """Pool initializer: install the worker-local compatibility matrix."""
+    global _WORKER_C_EXT
+    _WORKER_C_EXT = c_ext
+
+
+def _worker_database_totals(
+    args: Tuple[List[np.ndarray], Dict[int, List[int]],
+                Dict[int, np.ndarray], int, int]
+) -> np.ndarray:
+    rows, groups, elements_by_span, n_patterns, chunk_rows = args
+    assert _WORKER_C_EXT is not None, "worker initializer did not run"
+    return rows_database_totals(
+        rows, _WORKER_C_EXT, groups, elements_by_span, n_patterns, chunk_rows
+    )
+
+
+def _worker_symbol_totals(
+    args: Tuple[List[np.ndarray], int]
+) -> np.ndarray:
+    rows, chunk_rows = args
+    assert _WORKER_C_EXT is not None, "worker initializer did not run"
+    return rows_symbol_totals(rows, _WORKER_C_EXT, chunk_rows)
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class ParallelEngine(MatchEngine):
+    """Shard sequences across processes; merge per-pattern partial sums.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes; defaults to ``os.cpu_count()``.  ``1`` means
+        always-inline evaluation (useful as a deterministic fallback).
+    chunk_rows:
+        Rows per padded chunk *inside* each worker.
+    min_shard_rows:
+        Minimum sequences per worker before the pool is used at all.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
+    ):
+        if n_workers is not None and n_workers < 1:
+            raise MiningError(f"n_workers must be >= 1, got {n_workers}")
+        if chunk_rows < 1:
+            raise MiningError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        if min_shard_rows < 1:
+            raise MiningError(
+                f"min_shard_rows must be >= 1, got {min_shard_rows}"
+            )
+        self.n_workers = n_workers or os.cpu_count() or 1
+        self.chunk_rows = chunk_rows
+        self.min_shard_rows = min_shard_rows
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_fingerprint: Optional[tuple] = None
+
+    # -- pool management ------------------------------------------------------
+
+    def _context(self) -> multiprocessing.context.BaseContext:
+        # fork is cheapest and inherits the imported numpy state; fall
+        # back to the platform default (spawn) elsewhere.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def _ensure_pool(
+        self, matrix: CompatibilityMatrix, c_ext: np.ndarray
+    ) -> "multiprocessing.pool.Pool":
+        fingerprint = matrix_fingerprint(matrix)
+        if self._pool is not None and self._pool_fingerprint != fingerprint:
+            self.close()
+        if self._pool is None:
+            self._pool = self._context().Pool(
+                processes=self.n_workers,
+                initializer=_init_worker,
+                initargs=(c_ext,),
+            )
+            self._pool_fingerprint = fingerprint
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_fingerprint = None
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- sharding -------------------------------------------------------------
+
+    def _shards(self, rows: List[np.ndarray]) -> List[List[np.ndarray]]:
+        n_shards = min(self.n_workers, max(1, len(rows) // self.min_shard_rows))
+        if n_shards <= 1:
+            return [rows]
+        bounds = np.linspace(0, len(rows), n_shards + 1).astype(int)
+        return [
+            rows[bounds[i] : bounds[i + 1]]
+            for i in range(n_shards)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+    # -- batched hooks --------------------------------------------------------
+
+    def database_matches(
+        self,
+        patterns: Sequence[Pattern],
+        database: AnySequenceDatabase,
+        matrix: CompatibilityMatrix,
+    ) -> Dict[Pattern, float]:
+        patterns = list(patterns)
+        if not patterns:
+            return {}
+        groups, elements_by_span = group_patterns_by_span(
+            patterns, matrix.size
+        )
+        c_ext = extended_matrix(matrix.array)
+        _ids, rows = scan_rows(database)
+        empty_database_guard(len(rows))
+        shards = self._shards(rows)
+        if len(shards) == 1:
+            totals = rows_database_totals(
+                rows, c_ext, groups, elements_by_span, len(patterns),
+                self.chunk_rows,
+            )
+        else:
+            pool = self._ensure_pool(matrix, c_ext)
+            parts = pool.map(
+                _worker_database_totals,
+                [
+                    (shard, groups, elements_by_span, len(patterns),
+                     self.chunk_rows)
+                    for shard in shards
+                ],
+            )
+            totals = np.zeros(len(patterns), dtype=np.float64)
+            for part in parts:  # merge in shard (i.e. scan) order
+                totals += part
+        count = len(rows)
+        return {p: float(t / count) for p, t in zip(patterns, totals)}
+
+    def symbol_matches(
+        self,
+        database: AnySequenceDatabase,
+        matrix: CompatibilityMatrix,
+    ) -> np.ndarray:
+        c_ext = extended_matrix(matrix.array)
+        _ids, rows = scan_rows(database)
+        if not rows:
+            raise MiningError(
+                "cannot compute symbol matches over an empty database"
+            )
+        shards = self._shards(rows)
+        if len(shards) == 1:
+            totals = rows_symbol_totals(rows, c_ext, self.chunk_rows)
+        else:
+            pool = self._ensure_pool(matrix, c_ext)
+            parts = pool.map(
+                _worker_symbol_totals,
+                [(shard, self.chunk_rows) for shard in shards],
+            )
+            totals = np.zeros(matrix.size, dtype=np.float64)
+            for part in parts:
+                totals += part
+        return totals / len(rows)
+
+    def symbol_matches_rows(
+        self,
+        sequences: Sequence[np.ndarray],
+        matrix: CompatibilityMatrix,
+    ) -> np.ndarray:
+        if not len(sequences):
+            raise MiningError(
+                "cannot compute symbol matches over an empty database"
+            )
+        rows = [np.asarray(s) for s in sequences]
+        return rows_symbol_totals(
+            rows, extended_matrix(matrix.array), self.chunk_rows
+        ) / len(rows)

@@ -1,0 +1,41 @@
+"""The reference backend: the original code paths, unchanged.
+
+:class:`ReferenceEngine` delegates every operation to the functions in
+:mod:`repro.core.match` that predate the engine layer.  It exists so
+that (a) the default behaviour of every miner is byte-for-byte what it
+was before the refactor, and (b) the other backends have a fixed
+semantic baseline to be tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.compatibility import CompatibilityMatrix
+from ..core.match import database_matches, symbol_matches
+from ..core.pattern import Pattern
+from ..core.sequence import AnySequenceDatabase
+from .base import MatchEngine
+
+
+class ReferenceEngine(MatchEngine):
+    """Per-sequence evaluation via ``repro.core.match`` (the baseline)."""
+
+    name = "reference"
+
+    def database_matches(
+        self,
+        patterns: Sequence[Pattern],
+        database: AnySequenceDatabase,
+        matrix: CompatibilityMatrix,
+    ) -> Dict[Pattern, float]:
+        return database_matches(patterns, database, matrix)
+
+    def symbol_matches(
+        self,
+        database: AnySequenceDatabase,
+        matrix: CompatibilityMatrix,
+    ) -> np.ndarray:
+        return symbol_matches(database, matrix)

@@ -19,7 +19,7 @@ from .collapsing import (
     layer_schedule,
     select_probe_batch,
 )
-from .counting import count_matches_batched
+from .counting import count_matches_batched, validate_memory_capacity
 from .depthfirst import DepthFirstMiner
 from .levelwise import LevelwiseMiner, mine_support
 from .maxminer import MaxMiner
@@ -45,6 +45,7 @@ __all__ = [
     "layer_schedule",
     "select_probe_batch",
     "count_matches_batched",
+    "validate_memory_capacity",
     "DepthFirstMiner",
     "LevelwiseMiner",
     "mine_support",

@@ -40,6 +40,7 @@ from .chernoff import (
     classify_value,
     restricted_spread,
 )
+from ..engine import EngineSpec
 from .counting import count_matches_batched
 from .result import SampleClassification
 
@@ -53,6 +54,7 @@ def classify_on_sample(
     constraints: Optional[PatternConstraints] = None,
     use_restricted_spread: bool = True,
     exact: bool = False,
+    engine: "EngineSpec" = None,
 ) -> SampleClassification:
     """Run the Phase-2 breadth-first classification.
 
@@ -136,7 +138,8 @@ def classify_on_sample(
         if not candidates:
             break
         level += 1
-        matches = count_matches_batched(sorted(candidates), sample, matrix)
+        matches = count_matches_batched(sorted(candidates), sample, matrix,
+                                        engine=engine)
         next_survivors: Set[Pattern] = set()
         for pattern, value in matches.items():
             if exact:

@@ -28,8 +28,8 @@ from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
-from ..errors import MiningError
-from .counting import count_matches_batched
+from ..engine import EngineSpec
+from .counting import count_matches_batched, validate_memory_capacity
 from .result import SampleClassification
 
 
@@ -126,18 +126,16 @@ def collapse_borders(
     min_match: float,
     classification: SampleClassification,
     memory_capacity: Optional[int] = None,
+    engine: EngineSpec = None,
 ) -> CollapseOutcome:
     """Resolve every ambiguous pattern with a minimal number of scans.
 
     Patterns the sample classified *frequent* are trusted (they hold
     with probability ``1 - δ`` each); patterns *infrequent* on the
     sample are trusted symmetrically.  Only the ambiguous band is probed
-    against the full database.
+    against the full database, through the given match engine.
     """
-    if memory_capacity is not None and memory_capacity < 1:
-        raise MiningError(
-            f"memory_capacity must be >= 1, got {memory_capacity}"
-        )
+    validate_memory_capacity(memory_capacity)
     decided_frequent = classification.fqt.copy()
     minimal_infrequent: Set[Pattern] = set()
     undecided: Set[Pattern] = {
@@ -155,7 +153,8 @@ def collapse_borders(
     while undecided:
         batch = select_probe_batch(undecided, floor_weight, memory_capacity)
         probe_rounds.append(batch)
-        matches = count_matches_batched(batch, database, matrix)
+        matches = count_matches_batched(batch, database, matrix,
+                                        engine=engine)
         scans += 1
         newly_frequent: List[Pattern] = []
         newly_infrequent: List[Pattern] = []

@@ -4,17 +4,41 @@ The paper's cost model charges one database pass per batch of pattern
 counters that fits in memory.  :func:`count_matches_batched` is the one
 place that model is enforced: every miner funnels its full-database
 counting through it, so scan counts are comparable across algorithms.
+
+It is also the single dispatch point into the match-execution layer
+(:mod:`repro.engine`): the *engine* argument selects which backend
+evaluates each batch, while the batching itself — and therefore the
+observable ``scan_count`` semantics — stays identical across backends:
+exactly ``ceil(n_unique / memory_capacity)`` scans per call, where
+``n_unique`` is the number of patterns left after deduplication.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from ..core.compatibility import CompatibilityMatrix
-from ..core.match import database_matches
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
+from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
+
+
+def validate_memory_capacity(memory_capacity: Optional[int]) -> None:
+    """Reject non-positive memory budgets with one canonical message.
+
+    A scan batch must hold at least one pattern counter;
+    ``memory_capacity=0`` would make every counting call an infinite
+    loop of empty scans, so it is rejected eagerly (miners call this
+    from their constructors, before any scan is consumed).
+    """
+    if memory_capacity is not None and memory_capacity < 1:
+        raise MiningError(
+            f"memory_capacity must be >= 1, got {memory_capacity}: the "
+            "memory budget is the number of pattern counters held during "
+            "one scan, and a scan that can hold no counter can never "
+            "make progress (use None for an unbounded budget)"
+        )
 
 
 def count_matches_batched(
@@ -22,6 +46,7 @@ def count_matches_batched(
     database: AnySequenceDatabase,
     matrix: CompatibilityMatrix,
     memory_capacity: Optional[int] = None,
+    engine: EngineSpec = None,
 ) -> Dict[Pattern, float]:
     """Compute ``M(P, D)`` for every pattern, in as few scans as allowed.
 
@@ -30,21 +55,24 @@ def count_matches_batched(
     memory_capacity:
         Maximum number of pattern counters held in memory during one
         pass.  ``None`` means unbounded (everything in one scan).
+    engine:
+        Match-execution backend: a registered name (``"reference"``,
+        ``"vectorized"``, ``"parallel"``), a
+        :class:`~repro.engine.MatchEngine` instance, or ``None`` for
+        the process default.
 
-    The number of scans consumed is ``ceil(len(patterns) /
+    The number of scans consumed is ``ceil(len(unique patterns) /
     memory_capacity)`` and is observable through the database's
-    ``scan_count``.
+    ``scan_count``; the engine choice never changes it.
     """
-    unique: List[Pattern] = list(dict.fromkeys(patterns))
+    unique = list(dict.fromkeys(patterns))
     if not unique:
         return {}
-    if memory_capacity is not None and memory_capacity < 1:
-        raise MiningError(
-            f"memory_capacity must be >= 1, got {memory_capacity}"
-        )
+    validate_memory_capacity(memory_capacity)
+    eng = get_engine(engine)
     batch_size = memory_capacity or len(unique)
     result: Dict[Pattern, float] = {}
     for start in range(0, len(unique), batch_size):
         batch = unique[start : start + batch_size]
-        result.update(database_matches(batch, database, matrix))
+        result.update(eng.database_matches(batch, database, matrix))
     return result

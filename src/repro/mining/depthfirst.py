@@ -33,6 +33,7 @@ from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints
 from ..core.pattern import Pattern, WILDCARD
 from ..core.sequence import AnySequenceDatabase
+from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
 from .result import MiningResult
 
@@ -75,12 +76,14 @@ class DepthFirstMiner:
         matrix: CompatibilityMatrix,
         min_match: float,
         constraints: Optional[PatternConstraints] = None,
+        engine: EngineSpec = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
         self.matrix = matrix
         self.min_match = min_match
         self.constraints = constraints or PatternConstraints()
+        self.engine = get_engine(engine)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
@@ -90,8 +93,6 @@ class DepthFirstMiner:
         sequences: List[np.ndarray] = [
             np.asarray(seq) for _sid, seq in database.scan()
         ]
-        n = len(sequences)
-        c = self.matrix.array
         m = self.matrix.size
 
         symbol_match = self._symbol_matches(sequences)
@@ -123,11 +124,9 @@ class DepthFirstMiner:
     # -- internals -----------------------------------------------------------
 
     def _symbol_matches(self, sequences: List[np.ndarray]) -> np.ndarray:
-        totals = np.zeros(self.matrix.size)
-        for seq in sequences:
-            distinct = np.unique(seq)
-            totals += self.matrix.array[:, distinct].max(axis=1)
-        return totals / len(sequences)
+        # The engine's in-memory Phase-1 kernel (chunked/batched for the
+        # vectorized and parallel backends).
+        return self.engine.symbol_matches_rows(sequences, self.matrix)
 
     def _project_symbol(
         self, sequences: List[np.ndarray], symbol: int

@@ -19,11 +19,11 @@ from typing import Dict, Optional, Set
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints, generate_candidates
-from ..core.match import symbol_matches
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
+from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
-from .counting import count_matches_batched
+from .counting import count_matches_batched, validate_memory_capacity
 from .result import LevelStats, MiningResult
 
 
@@ -43,6 +43,9 @@ class LevelwiseMiner:
     memory_capacity:
         Maximum pattern counters per database pass (``None`` =
         unbounded, i.e. one scan per lattice level).
+    engine:
+        Match-execution backend for every counting pass (a registered
+        name or a :class:`~repro.engine.MatchEngine` instance).
     """
 
     def __init__(
@@ -51,22 +54,27 @@ class LevelwiseMiner:
         min_match: float,
         constraints: Optional[PatternConstraints] = None,
         memory_capacity: Optional[int] = None,
+        engine: EngineSpec = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(
                 f"min_match must lie in (0, 1], got {min_match}"
             )
+        validate_memory_capacity(memory_capacity)
         self.matrix = matrix
         self.min_match = min_match
         self.constraints = constraints or PatternConstraints()
         self.memory_capacity = memory_capacity
+        self.engine = get_engine(engine)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         """Run the full breadth-first search over *database*."""
         started = time.perf_counter()
         scans_before = database.scan_count
 
-        symbol_match = symbol_matches(database, self.matrix)  # one scan
+        symbol_match = self.engine.symbol_matches(
+            database, self.matrix
+        )  # one scan
         frequent_symbols = [
             d
             for d in range(self.matrix.size)
@@ -98,6 +106,7 @@ class LevelwiseMiner:
                 database,
                 self.matrix,
                 self.memory_capacity,
+                engine=self.engine,
             )
             survivors = {
                 p: v for p, v in matches.items() if v >= self.min_match
@@ -128,6 +137,7 @@ def mine_support(
     min_support: float,
     constraints: Optional[PatternConstraints] = None,
     memory_capacity: Optional[int] = None,
+    engine: EngineSpec = None,
 ) -> MiningResult:
     """Classical exact-match support mining.
 
@@ -140,5 +150,6 @@ def mine_support(
         min_support,
         constraints=constraints,
         memory_capacity=memory_capacity,
+        engine=engine,
     )
     return miner.mine(database)

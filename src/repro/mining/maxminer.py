@@ -38,11 +38,11 @@ from ..core.lattice import (
     PatternConstraints,
     generate_candidates,
 )
-from ..core.match import symbol_matches
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
+from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
-from .counting import count_matches_batched
+from .counting import count_matches_batched, validate_memory_capacity
 from .result import LevelStats, MiningResult
 
 
@@ -62,6 +62,7 @@ class MaxMiner:
         memory_capacity: Optional[int] = None,
         lookahead_per_level: int = 16,
         collect_exact_matches: bool = True,
+        engine: EngineSpec = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -69,28 +70,27 @@ class MaxMiner:
             raise MiningError(
                 f"lookahead_per_level must be >= 0, got {lookahead_per_level}"
             )
+        validate_memory_capacity(memory_capacity)
         self.matrix = matrix
         self.min_match = min_match
         self.constraints = constraints or PatternConstraints()
         self.memory_capacity = memory_capacity
         self.lookahead_per_level = lookahead_per_level
         self.collect_exact_matches = collect_exact_matches
+        self.engine = get_engine(engine)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
 
-        symbol_match = symbol_matches(database, self.matrix)  # one scan
+        symbol_match = self.engine.symbol_matches(
+            database, self.matrix
+        )  # one scan
         frequent_symbols = [
             d
             for d in range(self.matrix.size)
             if symbol_match[d] >= self.min_match
         ]
-        # Tail ordering: most promising symbols first (highest match).
-        ordered_symbols = sorted(
-            frequent_symbols, key=lambda d: -float(symbol_match[d])
-        )
-
         frequent: Dict[Pattern, float] = {
             Pattern.single(d): float(symbol_match[d])
             for d in frequent_symbols
@@ -121,6 +121,7 @@ class MaxMiner:
                 database,
                 self.matrix,
                 self.memory_capacity,
+                engine=self.engine,
             )
             survivors: Set[Pattern] = set()
             for pattern in to_count:
@@ -235,5 +236,6 @@ class MaxMiner:
         if not missing:
             return {}
         return count_matches_batched(
-            sorted(missing), database, self.matrix, self.memory_capacity
+            sorted(missing), database, self.matrix, self.memory_capacity,
+            engine=self.engine,
         )

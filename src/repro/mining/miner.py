@@ -30,9 +30,11 @@ from ..core.lattice import PatternConstraints
 from ..core.match import symbol_matches_and_sample
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
+from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
 from .ambiguous import classify_on_sample
 from .collapsing import collapse_borders
+from .counting import validate_memory_capacity
 from .result import MiningResult, SampleClassification
 
 
@@ -59,6 +61,12 @@ class BorderCollapsingMiner:
     use_restricted_spread:
         Apply Claim 4.2's tightened spread (on by default; Figure 11
         measures the effect of turning it off).
+    engine:
+        Match-execution backend (``"reference"``, ``"vectorized"``,
+        ``"parallel"``, or a :class:`~repro.engine.MatchEngine`
+        instance) used for every full-database and sample counting
+        pass.  The backend never changes results or scan counts, only
+        throughput.
     """
 
     def __init__(
@@ -71,6 +79,7 @@ class BorderCollapsingMiner:
         memory_capacity: Optional[int] = None,
         use_restricted_spread: bool = True,
         rng: Optional[np.random.Generator] = None,
+        engine: EngineSpec = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -78,6 +87,7 @@ class BorderCollapsingMiner:
             raise MiningError(
                 f"sample_size must be >= 1, got {sample_size}"
             )
+        validate_memory_capacity(memory_capacity)
         self.matrix = matrix
         self.min_match = min_match
         self.sample_size = sample_size
@@ -86,6 +96,7 @@ class BorderCollapsingMiner:
         self.memory_capacity = memory_capacity
         self.use_restricted_spread = use_restricted_spread
         self.rng = rng or np.random.default_rng()
+        self.engine = get_engine(engine)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         """Run all three phases and return the discovered patterns.
@@ -116,6 +127,7 @@ class BorderCollapsingMiner:
             self.constraints,
             use_restricted_spread=self.use_restricted_spread,
             exact=sample_size >= len(database),
+            engine=self.engine,
         )
 
         # Phase 3 — border collapsing over the ambiguous band.
@@ -125,6 +137,7 @@ class BorderCollapsingMiner:
             self.min_match,
             classification,
             self.memory_capacity,
+            engine=self.engine,
         )
 
         frequent = self._assemble_frequent(classification, outcome.verified,

@@ -27,11 +27,11 @@ from typing import Dict, List, Optional, Set
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints, generate_candidates
-from ..core.match import symbol_matches
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
+from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
-from .counting import count_matches_batched
+from .counting import count_matches_batched, validate_memory_capacity
 from .result import LevelStats, MiningResult
 
 
@@ -46,23 +46,28 @@ class PincerMiner:
         memory_capacity: Optional[int] = None,
         mfcs_limit: int = 12,
         collect_exact_matches: bool = True,
+        engine: EngineSpec = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
         if mfcs_limit < 0:
             raise MiningError(f"mfcs_limit must be >= 0, got {mfcs_limit}")
+        validate_memory_capacity(memory_capacity)
         self.matrix = matrix
         self.min_match = min_match
         self.constraints = constraints or PatternConstraints()
         self.memory_capacity = memory_capacity
         self.mfcs_limit = mfcs_limit
         self.collect_exact_matches = collect_exact_matches
+        self.engine = get_engine(engine)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
 
-        symbol_match = symbol_matches(database, self.matrix)  # one scan
+        symbol_match = self.engine.symbol_matches(
+            database, self.matrix
+        )  # one scan
         frequent_symbols = [
             d
             for d in range(self.matrix.size)
@@ -96,6 +101,7 @@ class PincerMiner:
                 database,
                 self.matrix,
                 self.memory_capacity,
+                engine=self.engine,
             )
             survivors: Set[Pattern] = set()
             for pattern in to_count:
@@ -134,6 +140,7 @@ class PincerMiner:
                         database,
                         self.matrix,
                         self.memory_capacity,
+                        engine=self.engine,
                     )
                 )
 

@@ -24,10 +24,11 @@ from ..core.lattice import PatternConstraints, generate_candidates
 from ..core.match import symbol_matches_and_sample
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
+from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
 from .ambiguous import classify_on_sample
 from .chernoff import INFREQUENT
-from .counting import count_matches_batched
+from .counting import count_matches_batched, validate_memory_capacity
 from .result import LevelStats, MiningResult
 
 import numpy as np
@@ -45,9 +46,11 @@ class ToivonenMiner:
         constraints: Optional[PatternConstraints] = None,
         memory_capacity: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        engine: EngineSpec = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
+        validate_memory_capacity(memory_capacity)
         self.matrix = matrix
         self.min_match = min_match
         self.sample_size = sample_size
@@ -55,6 +58,7 @@ class ToivonenMiner:
         self.constraints = constraints or PatternConstraints()
         self.memory_capacity = memory_capacity
         self.rng = rng or np.random.default_rng()
+        self.engine = get_engine(engine)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
@@ -73,6 +77,7 @@ class ToivonenMiner:
             self.delta,
             symbol_match,
             self.constraints,
+            engine=self.engine,
         )
         to_verify: Dict[int, List[Pattern]] = {}
         for pattern, label in classification.labels.items():
@@ -121,6 +126,7 @@ class ToivonenMiner:
                 database,
                 self.matrix,
                 self.memory_capacity,
+                engine=self.engine,
             )
             survivors = {
                 p: v for p, v in matches.items() if v >= self.min_match

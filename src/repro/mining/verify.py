@@ -17,9 +17,9 @@ from typing import List, Optional
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints
-from ..core.match import database_matches
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
+from ..engine import EngineSpec, get_engine
 from .result import MiningResult
 
 #: Tolerance when re-measuring match values (sample-estimated values in
@@ -74,6 +74,7 @@ def verify_result(
     database: Optional[AnySequenceDatabase] = None,
     matrix: Optional[CompatibilityMatrix] = None,
     tolerance: float = DEFAULT_TOLERANCE,
+    engine: EngineSpec = None,
 ) -> VerificationReport:
     """Check a mining result's structural invariants.
 
@@ -115,7 +116,9 @@ def verify_result(
 
     # 4. Optional exact re-measurement.
     if database is not None and matrix is not None and reported:
-        exact = database_matches(sorted(reported), database, matrix)
+        exact = get_engine(engine).database_matches(
+            sorted(reported), database, matrix
+        )
         for pattern, value in result.frequent.items():
             if abs(exact[pattern] - value) > tolerance:
                 report.value_mismatches.append(pattern)

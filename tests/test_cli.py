@@ -97,6 +97,54 @@ class TestMine:
         ])
         assert code == 0
 
+    @pytest.mark.parametrize("engine", ["reference", "vectorized", "parallel"])
+    def test_engine_flag_selects_backend(self, generated, capsys, engine):
+        code = main([
+            "mine", str(generated),
+            "--alphabet", "10",
+            "--min-match", "0.5",
+            "--algorithm", "levelwise",
+            "--max-weight", "4",
+            "--max-span", "4",
+            "--engine", engine,
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == engine
+
+    def test_engine_results_identical_across_backends(self, generated,
+                                                      capsys):
+        payloads = {}
+        for engine in ("reference", "vectorized", "parallel"):
+            assert main([
+                "mine", str(generated),
+                "--alphabet", "10",
+                "--min-match", "0.5",
+                "--algorithm", "levelwise",
+                "--max-weight", "4",
+                "--max-span", "4",
+                "--engine", engine,
+                "--json",
+            ]) == 0
+            payloads[engine] = json.loads(capsys.readouterr().out)
+        reference = payloads["reference"]
+        for engine in ("vectorized", "parallel"):
+            patterns = payloads[engine]["patterns"]
+            assert set(patterns) == set(reference["patterns"])
+            for text, value in reference["patterns"].items():
+                assert patterns[text] == pytest.approx(value, abs=1e-12)
+            assert payloads[engine]["scans"] == reference["scans"]
+
+    def test_unknown_engine_rejected_by_argparse(self, generated, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "mine", str(generated),
+                "--alphabet", "10",
+                "--min-match", "0.5",
+                "--engine", "gpu",
+            ])
+
     def test_missing_file_is_graceful_error(self, tmp_path, capsys):
         code = main([
             "mine", str(tmp_path / "missing.txt"),
@@ -159,7 +207,7 @@ class TestErrorHandling:
 
 class TestFastaInput:
     def test_mine_fasta_end_to_end(self, tmp_path, capsys):
-        from repro import Alphabet, Pattern, SequenceDatabase
+        from repro import Alphabet, Pattern
         from repro.datagen.fasta import write_fasta
         from repro.datagen.motifs import Motif
         from repro.datagen.synthetic import protein_like_database

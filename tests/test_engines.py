@@ -1,0 +1,359 @@
+"""The engine layer: backend equivalence, scan contract, cache, registry.
+
+The reference engine is the semantic baseline (it wraps the original
+``repro.core.match`` code paths unchanged); the vectorized and parallel
+backends must agree with it on ``M(P, s)``, ``M(P, S)`` and ``M(P, D)``
+to within 1e-12 on arbitrary inputs — including wildcard-heavy patterns
+and patterns whose span exceeds every sequence — while consuming exactly
+one scan per ``database_matches`` call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CompatibilityMatrix,
+    MiningError,
+    Pattern,
+    SequenceDatabase,
+    WILDCARD,
+)
+from repro.core import match as core_match
+from repro.engine import (
+    DEFAULT_ENGINE_NAME,
+    ENGINE_ENV_VAR,
+    FactorCache,
+    MatchEngine,
+    ParallelEngine,
+    ReferenceEngine,
+    VectorizedBatchEngine,
+    available_engines,
+    get_engine,
+)
+from repro.mining import LevelwiseMiner
+
+M = 5  # alphabet size used throughout
+
+#: Module-level instances so the parallel pool and the factor cache are
+#: reused across examples.  chunk_rows=3 forces multi-chunk evaluation
+#: on tiny databases; min_shard_rows=1 forces the parallel engine onto
+#: its pool path even for a handful of sequences.
+REF = ReferenceEngine()
+VEC = VectorizedBatchEngine(chunk_rows=3)
+PAR = ParallelEngine(n_workers=2, min_shard_rows=1)
+ENGINES = [REF, VEC, PAR]
+
+
+# -- strategies ----------------------------------------------------------------
+
+def patterns(max_weight: int = 4, max_gap: int = 3) -> st.SearchStrategy:
+    @st.composite
+    def build(draw):
+        weight = draw(st.integers(1, max_weight))
+        elements = [draw(st.integers(0, M - 1))]
+        for _ in range(weight - 1):
+            gap = draw(st.integers(0, max_gap))
+            elements.extend([WILDCARD] * gap)
+            elements.append(draw(st.integers(0, M - 1)))
+        return Pattern(elements)
+
+    return build()
+
+
+def sequences(min_len: int = 1, max_len: int = 12) -> st.SearchStrategy:
+    return st.lists(st.integers(0, M - 1), min_size=min_len, max_size=max_len)
+
+
+def matrices() -> st.SearchStrategy:
+    @st.composite
+    def build(draw):
+        raw = draw(
+            st.lists(
+                st.lists(
+                    st.floats(0.01, 1.0, allow_nan=False),
+                    min_size=M, max_size=M,
+                ),
+                min_size=M, max_size=M,
+            )
+        )
+        array = np.asarray(raw, dtype=np.float64)
+        array = array / array.sum(axis=0, keepdims=True)
+        return CompatibilityMatrix(array)
+
+    return build()
+
+
+def databases() -> st.SearchStrategy:
+    return st.lists(sequences(), min_size=1, max_size=8).map(SequenceDatabase)
+
+
+def pattern_batches() -> st.SearchStrategy:
+    return st.lists(patterns(), min_size=1, max_size=6)
+
+
+# -- hypothesis equivalence ----------------------------------------------------
+
+@given(patterns(), sequences(), matrices())
+@settings(max_examples=120, deadline=None)
+def test_sequence_match_equivalence(pattern, sequence, matrix):
+    baseline = REF.sequence_match(pattern, sequence, matrix)
+    assert VEC.sequence_match(pattern, sequence, matrix) == pytest.approx(
+        baseline, abs=1e-12
+    )
+    assert PAR.sequence_match(pattern, sequence, matrix) == pytest.approx(
+        baseline, abs=1e-12
+    )
+
+
+@given(patterns(), matrices(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_segment_match_equivalence(pattern, matrix, data):
+    segment = data.draw(
+        st.lists(
+            st.integers(0, M - 1),
+            min_size=pattern.span,
+            max_size=pattern.span,
+        )
+    )
+    baseline = REF.segment_match(pattern, segment, matrix)
+    assert VEC.segment_match(pattern, segment, matrix) == pytest.approx(
+        baseline, abs=1e-12
+    )
+    assert PAR.segment_match(pattern, segment, matrix) == pytest.approx(
+        baseline, abs=1e-12
+    )
+
+
+@given(pattern_batches(), databases(), matrices())
+@settings(max_examples=40, deadline=None)
+def test_database_matches_equivalence(batch, database, matrix):
+    batch = list(dict.fromkeys(batch))
+    baseline = REF.database_matches(batch, database, matrix)
+    for engine in (VEC, PAR):
+        result = engine.database_matches(batch, database, matrix)
+        assert set(result) == set(baseline)
+        for pattern in batch:
+            assert result[pattern] == pytest.approx(
+                baseline[pattern], abs=1e-12
+            )
+
+
+@given(databases(), matrices())
+@settings(max_examples=40, deadline=None)
+def test_symbol_matches_equivalence(database, matrix):
+    baseline = REF.symbol_matches(database, matrix)
+    np.testing.assert_allclose(
+        VEC.symbol_matches(database, matrix), baseline, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        PAR.symbol_matches(database, matrix), baseline, atol=1e-12
+    )
+
+
+@given(databases(), matrices())
+@settings(max_examples=40, deadline=None)
+def test_symbol_matches_rows_equivalence(database, matrix):
+    rows = [seq for _sid, seq in database.scan()]
+    baseline = REF.symbol_matches_rows(rows, matrix)
+    np.testing.assert_allclose(
+        VEC.symbol_matches_rows(rows, matrix), baseline, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        PAR.symbol_matches_rows(rows, matrix), baseline, atol=1e-12
+    )
+
+
+# -- deterministic edge cases --------------------------------------------------
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    def test_span_longer_than_every_sequence(self, engine, fig2_matrix):
+        database = SequenceDatabase([[0, 1], [2]])
+        long_pattern = Pattern([0] + [WILDCARD] * 10 + [1])
+        result = engine.database_matches([long_pattern], database, fig2_matrix)
+        assert result[long_pattern] == 0.0
+
+    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    def test_span_longer_than_some_sequences(self, engine, fig2_matrix):
+        # Mixed lengths: the padded kernel must not let windows that
+        # overlap the padding contribute anything.
+        database = SequenceDatabase([[0, 1, 2, 0, 1, 3], [1], [2, 0]])
+        pattern = Pattern([0, WILDCARD, WILDCARD, 1])
+        expected = sum(
+            core_match.sequence_match(pattern, seq, fig2_matrix)
+            for seq in ([0, 1, 2, 0, 1, 3], [1], [2, 0])
+        ) / 3
+        result = engine.database_matches([pattern], database, fig2_matrix)
+        assert result[pattern] == pytest.approx(expected, abs=1e-12)
+
+    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    def test_wildcard_heavy_pattern(self, engine, fig2_matrix):
+        database = SequenceDatabase(
+            [[0, 1, 2, 3, 4, 0, 1, 2], [4, 3, 2, 1, 0]]
+        )
+        pattern = Pattern([0, WILDCARD, WILDCARD, WILDCARD, WILDCARD, 2])
+        baseline = core_match.database_matches(
+            [pattern], database, fig2_matrix
+        )
+        database.reset_scan_count()
+        result = engine.database_matches([pattern], database, fig2_matrix)
+        assert result[pattern] == pytest.approx(
+            baseline[pattern], abs=1e-12
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    def test_empty_batch_costs_nothing(self, engine, fig4_database,
+                                       fig2_matrix):
+        before = fig4_database.scan_count
+        assert engine.database_matches([], fig4_database, fig2_matrix) == {}
+        assert fig4_database.scan_count == before
+
+    def test_vectorized_rejects_out_of_range_symbol(self, fig2_matrix):
+        database = SequenceDatabase([[0, 7]])  # 7 >= m = 5
+        with pytest.raises(MiningError):
+            VEC.database_matches([Pattern([0])], database, fig2_matrix)
+
+
+class TestScanContract:
+    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    def test_database_matches_is_one_scan(self, engine, fig4_database,
+                                          fig2_matrix):
+        batch = [Pattern([0, 1]), Pattern([1, WILDCARD, 0]), Pattern([3])]
+        before = fig4_database.scan_count
+        engine.database_matches(batch, fig4_database, fig2_matrix)
+        assert fig4_database.scan_count == before + 1
+
+    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    def test_symbol_matches_is_one_scan(self, engine, fig4_database,
+                                        fig2_matrix):
+        before = fig4_database.scan_count
+        engine.symbol_matches(fig4_database, fig2_matrix)
+        assert fig4_database.scan_count == before + 1
+
+    def test_cache_hit_still_consumes_a_scan(self, fig4_database,
+                                             fig2_matrix):
+        engine = VectorizedBatchEngine(chunk_rows=2)
+        batch = [Pattern([0, 1])]
+        engine.database_matches(batch, fig4_database, fig2_matrix)
+        before = fig4_database.scan_count
+        engine.database_matches(batch, fig4_database, fig2_matrix)
+        assert fig4_database.scan_count == before + 1
+        assert engine.cache.hits > 0
+
+
+class TestFactorCache:
+    def test_repeat_scan_hits_cache_and_agrees(self, fig4_database,
+                                               fig2_matrix):
+        engine = VectorizedBatchEngine(chunk_rows=2)
+        batch = [Pattern([0, 1]), Pattern([1, 1])]
+        first = engine.database_matches(batch, fig4_database, fig2_matrix)
+        misses = engine.cache.misses
+        second = engine.database_matches(batch, fig4_database, fig2_matrix)
+        assert engine.cache.misses == misses  # nothing re-gathered
+        assert first == second
+
+    def test_different_matrix_never_serves_stale_factors(self,
+                                                         fig4_database):
+        engine = VectorizedBatchEngine(chunk_rows=2)
+        batch = [Pattern([0, 1])]
+        noisy = CompatibilityMatrix.uniform_noise(5, alpha=0.2)
+        identity = CompatibilityMatrix.identity(5)
+        engine.database_matches(batch, fig4_database, noisy)
+        got = engine.database_matches(batch, fig4_database, identity)
+        expected = core_match.database_matches(
+            batch, fig4_database, identity
+        )
+        assert got[batch[0]] == pytest.approx(expected[batch[0]], abs=1e-12)
+
+    def test_byte_budget_evicts_lru(self):
+        cache = FactorCache(max_bytes=2048)
+        a = np.zeros(128, dtype=np.float64)  # 1024 bytes each
+        cache.put(("k1",), a)
+        cache.put(("k2",), a.copy())
+        cache.put(("k3",), a.copy())  # evicts k1
+        assert cache.get(("k1",)) is None
+        assert cache.get(("k2",)) is not None
+        assert cache.nbytes <= 2048
+
+    def test_zero_budget_disables_caching(self, fig4_database, fig2_matrix):
+        engine = VectorizedBatchEngine(chunk_rows=2, cache_bytes=0)
+        batch = [Pattern([0, 1])]
+        first = engine.database_matches(batch, fig4_database, fig2_matrix)
+        second = engine.database_matches(batch, fig4_database, fig2_matrix)
+        assert len(engine.cache) == 0
+        assert first == second
+
+    def test_close_clears_cache(self, fig4_database, fig2_matrix):
+        engine = VectorizedBatchEngine(chunk_rows=2)
+        engine.database_matches(
+            [Pattern([0])], fig4_database, fig2_matrix
+        )
+        assert len(engine.cache) > 0
+        engine.close()
+        assert len(engine.cache) == 0
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"reference", "vectorized", "parallel"} <= set(
+            available_engines()
+        )
+
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert get_engine(None).name == DEFAULT_ENGINE_NAME == "reference"
+
+    def test_env_var_changes_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "vectorized")
+        assert get_engine(None).name == "vectorized"
+
+    def test_name_resolves_to_shared_instance(self):
+        assert get_engine("vectorized") is get_engine("vectorized")
+
+    def test_instance_passes_through(self):
+        assert get_engine(VEC) is VEC
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(MiningError, match="unknown match engine"):
+            get_engine("gpu")
+
+    def test_non_string_spec_rejected(self):
+        with pytest.raises(MiningError):
+            get_engine(42)
+
+    def test_engine_is_context_manager(self):
+        with VectorizedBatchEngine() as engine:
+            assert isinstance(engine, MatchEngine)
+
+
+class TestMinerEquivalence:
+    """End-to-end: a deterministic miner finds the identical result on
+    every backend, with identical scan counts."""
+
+    def test_levelwise_results_identical_across_engines(self, rng):
+        m = 6
+        matrix = CompatibilityMatrix.uniform_noise(m, alpha=0.1)
+        database = SequenceDatabase(
+            [rng.integers(0, m, size=12) for _ in range(30)]
+        )
+        results = {}
+        for engine in ENGINES:
+            database.reset_scan_count()
+            miner = LevelwiseMiner(
+                matrix, min_match=0.25, memory_capacity=7, engine=engine
+            )
+            results[engine.name] = miner.mine(database)
+        baseline = results["reference"]
+        for name in ("vectorized", "parallel"):
+            result = results[name]
+            assert set(result.frequent) == set(baseline.frequent)
+            for pattern, value in baseline.frequent.items():
+                assert result.frequent[pattern] == pytest.approx(
+                    value, abs=1e-12
+                )
+            assert result.scans == baseline.scans
+            assert result.border == baseline.border
