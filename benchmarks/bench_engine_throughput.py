@@ -19,13 +19,17 @@ Run as a script to write ``BENCH_engine.json`` next to the repo root::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 
-or through pytest-benchmark like the figure benchmarks::
+``--smoke`` runs two quick rounds and skips the 5x speedup gate — a
+correctness-only pass for CI, where shared runners make timing
+assertions meaningless.  Through pytest-benchmark, like the figure
+benchmarks::
 
     pytest benchmarks/bench_engine_throughput.py --benchmark-only
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -168,8 +172,16 @@ def measure(scale, rounds: int = ROUNDS) -> Dict:
     return report
 
 
-def main() -> int:
-    report = measure(current_scale())
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="two quick rounds, no speedup gate (CI correctness pass)",
+    )
+    args = parser.parse_args(argv)
+    rounds = 2 if args.smoke else ROUNDS
+    report = measure(current_scale(), rounds=rounds)
+    report["workload"]["smoke"] = args.smoke
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     for name, row in report["engines"].items():
         print(
@@ -179,6 +191,10 @@ def main() -> int:
         )
     print(f"wrote {OUTPUT}")
     speedup = report["engines"]["vectorized"]["speedup_vs_reference"]
+    if args.smoke:
+        # The correctness gate inside measure() already ran; timing
+        # thresholds are not meaningful on shared CI runners.
+        return 0
     if speedup < 5.0:
         print(f"WARNING: vectorized speedup {speedup:.2f}x is below 5x")
         return 1

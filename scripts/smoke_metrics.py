@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI smoke pass for the observability layer.
+
+Generates a tiny synthetic database, runs ``noisymine mine`` with
+``--metrics-json`` for a spread of algorithm × engine combinations, and
+validates the resulting RunReport files: required keys present, the
+per-phase ``scans`` counters of the top-level phases summing exactly to
+the reported total, and the metrics block of ``--json`` output matching
+the standalone file.  The JSON files are left in the output directory
+so the CI workflow can upload them as an artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/smoke_metrics.py [--output-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import main as cli_main
+
+#: algorithm × engine spread covered by the smoke pass (every algorithm
+#: at least once, every engine at least once).
+COMBINATIONS = [
+    ("border-collapsing", "reference"),
+    ("border-collapsing", "vectorized"),
+    ("levelwise", "parallel"),
+    ("maxminer", "vectorized"),
+    ("pincer", "reference"),
+    ("toivonen", "vectorized"),
+    ("depthfirst", "reference"),
+]
+
+REQUIRED_KEYS = {
+    "algorithm", "engine", "scans", "elapsed_seconds",
+    "phases", "counters", "context",
+}
+
+
+def validate_report(payload: dict, algorithm: str, engine: str) -> None:
+    missing = REQUIRED_KEYS - set(payload)
+    if missing:
+        raise AssertionError(f"metrics JSON lacks keys: {sorted(missing)}")
+    if payload["algorithm"] != algorithm:
+        raise AssertionError(
+            f"algorithm mismatch: {payload['algorithm']!r} != {algorithm!r}"
+        )
+    if payload["engine"] != engine:
+        raise AssertionError(
+            f"engine mismatch: {payload['engine']!r} != {engine!r}"
+        )
+    phase_scans = sum(
+        phase["counters"].get("scans", 0) for phase in payload["phases"]
+    )
+    if phase_scans != payload["scans"]:
+        raise AssertionError(
+            f"per-phase scans ({phase_scans}) != total ({payload['scans']})"
+        )
+    if payload["counters"].get("scans", 0) != payload["scans"]:
+        raise AssertionError("run-wide scan counter != measured scan total")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output-dir", default="metrics-artifacts")
+    args = parser.parse_args(argv)
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    db_path = out / "smoke_db.txt"
+    rc = cli_main([
+        "generate", str(db_path), "--sequences", "80", "--length", "12",
+        "--alphabet", "6", "--motif-weight", "3", "--motifs", "1",
+        "--seed", "11",
+    ])
+    if rc != 0:
+        print("database generation failed", file=sys.stderr)
+        return rc
+
+    for algorithm, engine in COMBINATIONS:
+        metrics_path = out / f"metrics_{algorithm}_{engine}.json"
+        rc = cli_main([
+            "mine", str(db_path), "--alphabet", "6",
+            "--min-match", "0.6", "--noise", "0.05",
+            "--algorithm", algorithm, "--engine", engine,
+            "--sample-size", "80", "--max-weight", "4", "--max-span", "5",
+            "--seed", "7", "--metrics-json", str(metrics_path),
+        ])
+        if rc != 0:
+            print(f"mine failed for {algorithm}/{engine}", file=sys.stderr)
+            return rc
+        payload = json.loads(metrics_path.read_text())
+        validate_report(payload, algorithm, engine)
+        phases = {
+            phase["name"]: phase["counters"].get("scans", 0)
+            for phase in payload["phases"]
+        }
+        print(f"{algorithm:18s} {engine:10s} scans={payload['scans']} "
+              f"phases={phases}")
+
+    print(f"all {len(COMBINATIONS)} metrics reports valid; "
+          f"artifacts in {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,7 +80,14 @@ from .eval import (
     completeness,
     error_rate,
     missed_match_distribution,
+    phase_scan_series,
     quality,
+)
+from .obs import (
+    NullTracer,
+    PhaseReport,
+    RunReport,
+    Tracer,
 )
 from .mining import (
     BorderCollapsingMiner,
@@ -152,7 +159,12 @@ __all__ = [
     "completeness",
     "error_rate",
     "missed_match_distribution",
+    "phase_scan_series",
     "quality",
+    "NullTracer",
+    "PhaseReport",
+    "RunReport",
+    "Tracer",
     "BorderCollapsingMiner",
     "DepthFirstMiner",
     "PincerMiner",

@@ -37,6 +37,7 @@ from .mining.maxminer import MaxMiner
 from .mining.miner import BorderCollapsingMiner
 from .mining.pincer import PincerMiner
 from .mining.toivonen import ToivonenMiner
+from .obs import Tracer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,7 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--seed", type=int, default=None)
     mine.add_argument(
         "--json", action="store_true",
-        help="emit machine-readable JSON instead of a table",
+        help="emit machine-readable JSON instead of a table "
+             "(includes a 'metrics' block with per-phase scans/timings)",
+    )
+    mine.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="also write the run's structured RunReport (per-phase spans, "
+             "scan/cache/shard counters) to PATH as JSON",
     )
 
     ev = sub.add_parser(
@@ -200,38 +207,56 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     # invalid variable fails loudly instead of silently running the
     # default backend).
     engine = get_engine(args.engine)
+    # A live tracer costs a few dict updates per scan; only pay for it
+    # when some output will actually carry the metrics.
+    tracer = Tracer() if (args.json or args.metrics_json) else None
     if args.algorithm == "border-collapsing":
         miner = BorderCollapsingMiner(
             matrix, args.min_match, sample_size=sample_size,
             delta=args.delta, constraints=constraints,
             memory_capacity=args.memory_capacity, rng=rng, engine=engine,
+            tracer=tracer,
         )
     elif args.algorithm == "levelwise":
         miner = LevelwiseMiner(
             matrix, args.min_match, constraints=constraints,
             memory_capacity=args.memory_capacity, engine=engine,
+            tracer=tracer,
         )
     elif args.algorithm == "maxminer":
         miner = MaxMiner(
             matrix, args.min_match, constraints=constraints,
             memory_capacity=args.memory_capacity, engine=engine,
+            tracer=tracer,
         )
     elif args.algorithm == "pincer":
         miner = PincerMiner(
             matrix, args.min_match, constraints=constraints,
             memory_capacity=args.memory_capacity, engine=engine,
+            tracer=tracer,
         )
     elif args.algorithm == "depthfirst":
         miner = DepthFirstMiner(
             matrix, args.min_match, constraints=constraints, engine=engine,
+            tracer=tracer,
         )
     else:
         miner = ToivonenMiner(
             matrix, args.min_match, sample_size=sample_size,
             delta=args.delta, constraints=constraints,
             memory_capacity=args.memory_capacity, rng=rng, engine=engine,
+            tracer=tracer,
         )
     result = miner.mine(database)
+    if args.metrics_json:
+        if result.report is None:  # pragma: no cover - defensive
+            raise NoisyMineError(
+                "the miner produced no metrics report; cannot honour "
+                "--metrics-json"
+            )
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(result.report.to_dict(), handle, indent=2)
+            handle.write("\n")
     if args.json:
         payload = {
             "algorithm": args.algorithm,
@@ -247,6 +272,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         for pattern in sorted(result.frequent):
             print(f"  {pattern.to_string():30s} "
                   f"match={result.frequent[pattern]:.4f}")
+        if args.metrics_json:
+            print(f"metrics written to {args.metrics_json}")
     return 0
 
 

@@ -283,14 +283,21 @@ def symbol_matches_and_sample(
 
     The paper stresses that sampling is a free by-product of the Phase-1
     scan; this helper preserves that property (a single ``scan()``).
+
+    ``sample_size >= len(database)`` is clamped to the database size:
+    the sample is the whole database, selected deterministically in
+    scan order without consuming the random stream.  ``sample_size < 1``
+    is rejected.
     """
     from .sequence import SequenceDatabase  # local import to avoid a cycle
 
     total = len(database)
-    if not 0 < sample_size <= total:
+    if sample_size < 1:
         raise MiningError(
             f"cannot sample {sample_size} sequences from {total}"
         )
+    sample_size = min(sample_size, total)
+    select_all = sample_size == total
     rng = rng or np.random.default_rng()
     totals = np.zeros(matrix.size, dtype=np.float64)
     chosen_ids: List[int] = []
@@ -298,7 +305,9 @@ def symbol_matches_and_sample(
     for seen, (sid, seq) in enumerate(database.scan()):
         totals += symbol_sequence_matches(seq, matrix)
         needed = sample_size - len(chosen_rows)
-        if needed > 0 and rng.random() < needed / (total - seen):
+        if needed > 0 and (
+            select_all or rng.random() < needed / (total - seen)
+        ):
             chosen_ids.append(sid)
             chosen_rows.append(np.array(seq, copy=True))
     sample = SequenceDatabase(chosen_rows, ids=chosen_ids)

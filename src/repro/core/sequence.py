@@ -183,6 +183,11 @@ class SequenceDatabase:
         :attr:`scan_count` because the paper folds sampling into the
         Phase-1 scan.
 
+        ``n >= len(self)`` is clamped to the database size: the sample
+        is the whole database, selected deterministically in scan order
+        without consuming the random stream (no draw can fail, so no
+        draw is made).  ``n < 1`` is rejected.
+
         An explicit *seed* makes the draw deterministic: the same seed
         selects the same sequence ids from the same database, on this
         backend and on :class:`FileSequenceDatabase` alike.  *rng* and
@@ -198,10 +203,17 @@ class SequenceDatabase:
         self, n: int, rng: np.random.Generator
     ) -> Iterator[Tuple[int, np.ndarray]]:
         total = len(self)
-        if not 0 < n <= total:
+        if n < 1:
             raise SamplingError(
                 f"cannot sample {n} sequences from a database of {total}"
             )
+        n = min(n, total)
+        if n == total:
+            # The whole database: every draw would succeed with
+            # probability exactly 1, so skip the random stream entirely
+            # and yield deterministically in scan order.
+            yield from self.scan()
+            return
         chosen = 0
         for seen, (sid, seq) in enumerate(self.scan()):
             remaining_needed = n - chosen
@@ -291,16 +303,25 @@ class FileSequenceDatabase:
         The same explicit *seed* selects the same sequence ids as
         :meth:`SequenceDatabase.sample` would on the in-memory copy of
         this file (both backends draw the identical random stream in
-        the identical scan order).
+        the identical scan order).  ``n >= len(self)`` is clamped to
+        the database size, matching the in-memory backend: the whole
+        file is selected in scan order without consuming the random
+        stream.
         """
         total = len(self)
-        if not 0 < n <= total:
+        if n < 1:
             raise SamplingError(
                 f"cannot sample {n} sequences from a database of {total}"
             )
+        n = min(n, total)
         rng = _sampling_rng(rng, seed)
         ids: List[int] = []
         rows: List[np.ndarray] = []
+        if n == total:
+            for sid, seq in self.scan():
+                ids.append(sid)
+                rows.append(seq)
+            return SequenceDatabase(rows, ids=ids)
         chosen = 0
         for seen, (sid, seq) in enumerate(self.scan()):
             if chosen == n:

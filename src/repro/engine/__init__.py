@@ -27,7 +27,11 @@ from .base import (
     get_engine,
     register_engine,
 )
-from .parallel import ParallelEngine
+from .parallel import (
+    ParallelEngine,
+    WORKERS_ENV_VAR,
+    resolve_worker_count,
+)
 from .reference import ReferenceEngine
 from .vectorized import FactorCache, VectorizedBatchEngine
 
@@ -44,7 +48,9 @@ __all__ = [
     "ParallelEngine",
     "ReferenceEngine",
     "VectorizedBatchEngine",
+    "WORKERS_ENV_VAR",
     "available_engines",
     "get_engine",
     "register_engine",
+    "resolve_worker_count",
 ]

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import abc
 import os
-from typing import Callable, Dict, Iterable, List, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -48,6 +48,7 @@ from ..core.match import (
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase, SequenceLike
 from ..errors import MiningError
+from ..obs import Tracer
 
 #: Environment variable overriding the default backend name.
 ENGINE_ENV_VAR = "NOISYMINE_ENGINE"
@@ -105,8 +106,15 @@ class MatchEngine(abc.ABC):
         patterns: Sequence[Pattern],
         database: AnySequenceDatabase,
         matrix: CompatibilityMatrix,
+        tracer: "Optional[Tracer]" = None,
     ) -> Dict[Pattern, float]:
-        """``M(P, D)`` for a batch of patterns in **one** database scan."""
+        """``M(P, D)`` for a batch of patterns in **one** database scan.
+
+        *tracer* is optional observability: backends record their own
+        counters on it (factor-cache hits/misses/evictions, shards
+        dispatched, inline fallbacks).  It never changes results or
+        scan accounting; passing ``None`` must be free.
+        """
 
     def symbol_matches(
         self,

@@ -34,6 +34,7 @@ from ..core.compatibility import CompatibilityMatrix
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..errors import MiningError
+from ..obs import INLINE_FALLBACKS, SHARDS_DISPATCHED, Tracer
 from .base import (
     MatchEngine,
     empty_database_guard,
@@ -50,6 +51,47 @@ from .kernels import (
 
 #: Below this many sequences per worker, sharding costs more than it saves.
 DEFAULT_MIN_SHARD_ROWS = 64
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "NOISYMINE_WORKERS"
+
+
+def resolve_worker_count(requested: Optional[int] = None) -> int:
+    """Resolve the parallel worker count for this process.
+
+    Resolution order:
+
+    1. an explicit *requested* value (must be ``>= 1``);
+    2. the ``NOISYMINE_WORKERS`` environment variable;
+    3. ``len(os.sched_getaffinity(0))`` — the CPUs this process may
+       actually run on, which respects cgroup/affinity limits where
+       ``os.cpu_count()`` reports the whole machine and oversubscribes
+       containers;
+    4. ``os.cpu_count()`` (or 1) on platforms without affinity masks.
+    """
+    if requested is not None:
+        if requested < 1:
+            raise MiningError(f"n_workers must be >= 1, got {requested}")
+        return requested
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise MiningError(
+                f"{WORKERS_ENV_VAR} must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise MiningError(
+                f"{WORKERS_ENV_VAR} must be >= 1, got {value}"
+            )
+        return value
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 # -- worker side ---------------------------------------------------------------
 
@@ -90,12 +132,20 @@ class ParallelEngine(MatchEngine):
     Parameters
     ----------
     n_workers:
-        Worker processes; defaults to ``os.cpu_count()``.  ``1`` means
-        always-inline evaluation (useful as a deterministic fallback).
+        Worker processes; defaults to :func:`resolve_worker_count` —
+        the ``NOISYMINE_WORKERS`` environment variable if set, else the
+        process's CPU affinity mask (not the raw machine count, which
+        oversubscribes under cgroup limits).  ``1`` means always-inline
+        evaluation (useful as a deterministic fallback).
     chunk_rows:
         Rows per padded chunk *inside* each worker.
     min_shard_rows:
         Minimum sequences per worker before the pool is used at all.
+
+    Lifecycle counters — :attr:`pools_created`,
+    :attr:`shards_dispatched`, :attr:`inline_fallbacks` — accumulate
+    over the engine's lifetime and are also reported per call on the
+    tracer passed to :meth:`database_matches`.
     """
 
     name = "parallel"
@@ -106,19 +156,20 @@ class ParallelEngine(MatchEngine):
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
         min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
     ):
-        if n_workers is not None and n_workers < 1:
-            raise MiningError(f"n_workers must be >= 1, got {n_workers}")
         if chunk_rows < 1:
             raise MiningError(f"chunk_rows must be >= 1, got {chunk_rows}")
         if min_shard_rows < 1:
             raise MiningError(
                 f"min_shard_rows must be >= 1, got {min_shard_rows}"
             )
-        self.n_workers = n_workers or os.cpu_count() or 1
+        self.n_workers = resolve_worker_count(n_workers)
         self.chunk_rows = chunk_rows
         self.min_shard_rows = min_shard_rows
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_fingerprint: Optional[tuple] = None
+        self.pools_created = 0
+        self.shards_dispatched = 0
+        self.inline_fallbacks = 0
 
     # -- pool management ------------------------------------------------------
 
@@ -143,6 +194,7 @@ class ParallelEngine(MatchEngine):
                 initargs=(c_ext,),
             )
             self._pool_fingerprint = fingerprint
+            self.pools_created += 1
         return self._pool
 
     def close(self) -> None:
@@ -178,10 +230,12 @@ class ParallelEngine(MatchEngine):
         patterns: Sequence[Pattern],
         database: AnySequenceDatabase,
         matrix: CompatibilityMatrix,
+        tracer: Optional[Tracer] = None,
     ) -> Dict[Pattern, float]:
         patterns = list(patterns)
         if not patterns:
             return {}
+        traced = tracer is not None and tracer.enabled
         groups, elements_by_span = group_patterns_by_span(
             patterns, matrix.size
         )
@@ -190,11 +244,18 @@ class ParallelEngine(MatchEngine):
         empty_database_guard(len(rows))
         shards = self._shards(rows)
         if len(shards) == 1:
+            self.inline_fallbacks += 1
+            if traced:
+                tracer.count(INLINE_FALLBACKS, 1)
             totals = rows_database_totals(
                 rows, c_ext, groups, elements_by_span, len(patterns),
                 self.chunk_rows,
             )
         else:
+            self.shards_dispatched += len(shards)
+            if traced:
+                tracer.count(SHARDS_DISPATCHED, len(shards))
+                tracer.note("workers", self.n_workers)
             pool = self._ensure_pool(matrix, c_ext)
             parts = pool.map(
                 _worker_database_totals,
@@ -223,8 +284,10 @@ class ParallelEngine(MatchEngine):
             )
         shards = self._shards(rows)
         if len(shards) == 1:
+            self.inline_fallbacks += 1
             totals = rows_symbol_totals(rows, c_ext, self.chunk_rows)
         else:
+            self.shards_dispatched += len(shards)
             pool = self._ensure_pool(matrix, c_ext)
             parts = pool.map(
                 _worker_symbol_totals,

@@ -9,7 +9,7 @@ semantic baseline to be tested against.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from ..core.compatibility import CompatibilityMatrix
 from ..core.match import database_matches, symbol_matches
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
+from ..obs import Tracer
 from .base import MatchEngine
 
 
@@ -30,7 +31,10 @@ class ReferenceEngine(MatchEngine):
         patterns: Sequence[Pattern],
         database: AnySequenceDatabase,
         matrix: CompatibilityMatrix,
+        tracer: Optional[Tracer] = None,
     ) -> Dict[Pattern, float]:
+        # The reference backend has no caches or pools, so there is
+        # nothing backend-specific to record on the tracer.
         return database_matches(patterns, database, matrix)
 
     def symbol_matches(

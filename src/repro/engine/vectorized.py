@@ -36,6 +36,12 @@ from ..core.match import segment_match as _core_segment_match
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase, SequenceLike, as_sequence_array
 from ..errors import MiningError
+from ..obs import (
+    FACTOR_CACHE_EVICTIONS,
+    FACTOR_CACHE_HITS,
+    FACTOR_CACHE_MISSES,
+    Tracer,
+)
 from .base import MatchEngine, empty_database_guard, matrix_fingerprint
 from .kernels import (
     DEFAULT_CHUNK_ROWS,
@@ -77,6 +83,7 @@ class FactorCache:
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: _CacheKey) -> Optional[np.ndarray]:
         entry = self._entries.get(key)
@@ -97,6 +104,7 @@ class FactorCache:
         while self._bytes > self.max_bytes:
             _key, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
+            self.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
@@ -112,7 +120,8 @@ class FactorCache:
     def __repr__(self) -> str:
         return (
             f"FactorCache(entries={len(self)}, bytes={self._bytes}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
         )
 
 
@@ -177,10 +186,19 @@ class VectorizedBatchEngine(MatchEngine):
         patterns: Sequence[Pattern],
         database: AnySequenceDatabase,
         matrix: CompatibilityMatrix,
+        tracer: Optional[Tracer] = None,
     ) -> Dict[Pattern, float]:
         patterns = list(patterns)
         if not patterns:
             return {}
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            # Snapshot the cache counters once per batch; the per-chunk
+            # hot path stays untouched and the deltas are recorded in
+            # one shot after the scan.
+            hits0 = self.cache.hits
+            misses0 = self.cache.misses
+            evictions0 = self.cache.evictions
         m = matrix.size
         groups, elements_by_span = group_patterns_by_span(patterns, m)
         plans = group_plans(elements_by_span)
@@ -205,6 +223,12 @@ class VectorizedBatchEngine(MatchEngine):
                 elements_by_span, totals, plans, scratch,
             )
         empty_database_guard(count)
+        if traced:
+            tracer.count(FACTOR_CACHE_HITS, self.cache.hits - hits0)
+            tracer.count(FACTOR_CACHE_MISSES, self.cache.misses - misses0)
+            tracer.count(
+                FACTOR_CACHE_EVICTIONS, self.cache.evictions - evictions0
+            )
         return {p: float(t / count) for p, t in zip(patterns, totals)}
 
     def _flush(

@@ -1,6 +1,6 @@
 """Evaluation: Section-5 quality metrics and the experiment harness."""
 
-from .harness import ExperimentTable, sweep
+from .harness import ExperimentTable, phase_scan_series, record_run, sweep
 from .metrics import (
     MISSED_BUCKETS,
     QualityReport,
@@ -14,6 +14,8 @@ from .metrics import (
 
 __all__ = [
     "ExperimentTable",
+    "phase_scan_series",
+    "record_run",
     "sweep",
     "MISSED_BUCKETS",
     "QualityReport",

@@ -10,7 +10,10 @@ plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NoisyMineError
+from ..obs import RunReport
 
 
 @dataclass
@@ -97,6 +100,44 @@ def _fmt(value: object) -> str:
             return f"{value:.2e}"
         return f"{value:.3f}"
     return str(value)
+
+
+def _resolve_report(source: object) -> RunReport:
+    """Accept a :class:`RunReport` or a traced ``MiningResult``."""
+    if isinstance(source, RunReport):
+        return source
+    report: Optional[RunReport] = getattr(source, "report", None)
+    if report is None:
+        raise NoisyMineError(
+            "no RunReport available: mine with a live Tracer "
+            "(miner tracer= argument) to collect per-phase metrics"
+        )
+    return report
+
+
+def phase_scan_series(source: object) -> Dict[str, int]:
+    """Per-phase database scans as an ``{series: value}`` dict.
+
+    *source* is a :class:`repro.obs.RunReport` or a ``MiningResult``
+    mined with a live tracer.  The returned dict plugs directly into
+    :func:`sweep` / :meth:`ExperimentTable.add`, one series per phase
+    (repeated phase names are summed, e.g. Phase-3 probe rounds), plus
+    a ``"total"`` series — so the paper's scans-per-phase accounting
+    (Figures 14(b)/15(a)) can be tabulated straight from a run.
+    """
+    report = _resolve_report(source)
+    series = dict(report.scans_by_phase())
+    series["total"] = report.scans
+    return series
+
+
+def record_run(
+    table: ExperimentTable, x: object, source: object
+) -> ExperimentTable:
+    """Add one traced run's per-phase scan counts to *table* at row *x*."""
+    for series, value in phase_scan_series(source).items():
+        table.add(x, series, value)
+    return table
 
 
 def sweep(

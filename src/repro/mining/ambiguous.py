@@ -41,6 +41,13 @@ from .chernoff import (
     restricted_spread,
 )
 from ..engine import EngineSpec
+from ..obs import (
+    CANDIDATES_GENERATED,
+    SAMPLE_PATTERNS_COUNTED,
+    SAMPLE_SCANS,
+    Tracer,
+    ensure_tracer,
+)
 from .counting import count_matches_batched
 from .result import SampleClassification
 
@@ -55,6 +62,7 @@ def classify_on_sample(
     use_restricted_spread: bool = True,
     exact: bool = False,
     engine: "EngineSpec" = None,
+    tracer: Optional[Tracer] = None,
 ) -> SampleClassification:
     """Run the Phase-2 breadth-first classification.
 
@@ -73,10 +81,17 @@ def classify_on_sample(
         Chernoff failure probability; confidence is ``1 - delta``.
     exact:
         The sample *is* the full database: matches are exact, the band
-        collapses to zero and no pattern stays ambiguous.  Used by the
-        miner when the database fits in memory.
+        collapses to zero and no pattern stays ambiguous.  A pattern is
+        then frequent iff its (exact) match reaches ``min_match`` — the
+        zero-width band must not leave threshold-exact patterns
+        ambiguous.  Used by the miner when the database fits in memory.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records candidate counts
+        and in-memory sample scans (under the ``sample_scans`` counter,
+        kept apart from full-database ``scans``).
     """
     constraints = constraints or PatternConstraints()
+    tracer = ensure_tracer(tracer)
     if not 0.0 < min_match <= 1.0:
         raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
     n = len(sample)
@@ -138,12 +153,37 @@ def classify_on_sample(
         if not candidates:
             break
         level += 1
-        matches = count_matches_batched(sorted(candidates), sample, matrix,
-                                        engine=engine)
+        tracer.count(CANDIDATES_GENERATED, len(candidates))
+        # A zero restricted spread means some symbol of the pattern has
+        # match 0 over the full database, so the pattern's match is
+        # provably 0 (Claim 4.2): classify it infrequent immediately.
+        # Without this, the zero-width Chernoff band could leave such a
+        # pattern ambiguous and Phase 3 would burn probe scans on it.
+        countable = []
+        for pattern in sorted(candidates):
+            if (
+                use_restricted_spread
+                and restricted_spread(pattern, symbol_match) == 0.0
+            ):
+                labels[pattern] = INFREQUENT
+                sample_matches[pattern] = 0.0
+                epsilons[pattern] = 0.0
+            else:
+                countable.append(pattern)
+        matches = count_matches_batched(
+            countable, sample, matrix, engine=engine, tracer=tracer,
+            scan_counter=SAMPLE_SCANS,
+            patterns_counter=SAMPLE_PATTERNS_COUNTED,
+        )
         next_survivors: Set[Pattern] = set()
         for pattern, value in matches.items():
             if exact:
+                # Exact matches need no band; value == min_match is
+                # frequent (the same >= rule that decides symbols), not
+                # ambiguous as the zero-width classify_value band would
+                # label it.
                 epsilon = 0.0
+                label = FREQUENT if value >= min_match else INFREQUENT
             else:
                 spread = (
                     restricted_spread(pattern, symbol_match)
@@ -151,7 +191,7 @@ def classify_on_sample(
                     else 1.0
                 )
                 epsilon = chernoff_epsilon(spread, delta, n)
-            label = classify_value(value, min_match, epsilon)
+                label = classify_value(value, min_match, epsilon)
             labels[pattern] = label
             sample_matches[pattern] = value
             epsilons[pattern] = epsilon

@@ -29,6 +29,13 @@ from ..core.compatibility import CompatibilityMatrix
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec
+from ..obs import (
+    AMBIGUOUS_REMAINING,
+    PROBE_ROUNDS,
+    PROBES,
+    Tracer,
+    ensure_tracer,
+)
 from .counting import count_matches_batched, validate_memory_capacity
 from .result import SampleClassification
 
@@ -127,6 +134,7 @@ def collapse_borders(
     classification: SampleClassification,
     memory_capacity: Optional[int] = None,
     engine: EngineSpec = None,
+    tracer: Optional[Tracer] = None,
 ) -> CollapseOutcome:
     """Resolve every ambiguous pattern with a minimal number of scans.
 
@@ -134,8 +142,14 @@ def collapse_borders(
     with probability ``1 - δ`` each); patterns *infrequent* on the
     sample are trusted symmetrically.  Only the ambiguous band is probed
     against the full database, through the given match engine.
+
+    When a *tracer* is supplied, each probe round opens a child span
+    (``probe-round-1``, ``probe-round-2``, ...) recording its probe
+    count, scan and the number of ambiguous patterns still undecided
+    after label propagation.
     """
     validate_memory_capacity(memory_capacity)
+    tracer = ensure_tracer(tracer)
     decided_frequent = classification.fqt.copy()
     minimal_infrequent: Set[Pattern] = set()
     undecided: Set[Pattern] = {
@@ -153,34 +167,39 @@ def collapse_borders(
     while undecided:
         batch = select_probe_batch(undecided, floor_weight, memory_capacity)
         probe_rounds.append(batch)
-        matches = count_matches_batched(batch, database, matrix,
-                                        engine=engine)
-        scans += 1
-        newly_frequent: List[Pattern] = []
-        newly_infrequent: List[Pattern] = []
-        for pattern, value in matches.items():
-            verified[pattern] = value
-            if value >= min_match:
-                decided_frequent.add(pattern)
-                newly_frequent.append(pattern)
-            else:
-                minimal_infrequent.add(pattern)
-                newly_infrequent.append(pattern)
-        # Probed patterns are decided outright; the rest only need
-        # checking against this round's new decisions (earlier rounds
-        # already filtered against the older ones).
-        undecided.difference_update(batch)
-        undecided = {
-            pattern
-            for pattern in undecided
-            if not any(
-                pattern.is_subpattern_of(fresh) for fresh in newly_frequent
-            )
-            and not any(
-                killer.is_subpattern_of(pattern)
-                for killer in newly_infrequent
-            )
-        }
+        with tracer.phase(f"probe-round-{len(probe_rounds)}"):
+            matches = count_matches_batched(batch, database, matrix,
+                                            engine=engine, tracer=tracer)
+            scans += 1
+            tracer.count(PROBE_ROUNDS, 1)
+            tracer.count(PROBES, len(batch))
+            newly_frequent: List[Pattern] = []
+            newly_infrequent: List[Pattern] = []
+            for pattern, value in matches.items():
+                verified[pattern] = value
+                if value >= min_match:
+                    decided_frequent.add(pattern)
+                    newly_frequent.append(pattern)
+                else:
+                    minimal_infrequent.add(pattern)
+                    newly_infrequent.append(pattern)
+            # Probed patterns are decided outright; the rest only need
+            # checking against this round's new decisions (earlier rounds
+            # already filtered against the older ones).
+            undecided.difference_update(batch)
+            undecided = {
+                pattern
+                for pattern in undecided
+                if not any(
+                    pattern.is_subpattern_of(fresh)
+                    for fresh in newly_frequent
+                )
+                and not any(
+                    killer.is_subpattern_of(pattern)
+                    for killer in newly_infrequent
+                )
+            }
+            tracer.annotate(AMBIGUOUS_REMAINING, len(undecided))
     return CollapseOutcome(
         border=decided_frequent,
         verified=verified,

@@ -22,6 +22,7 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
+from ..obs import PATTERNS_COUNTED, SCANS, Tracer, ensure_tracer
 
 
 def validate_memory_capacity(memory_capacity: Optional[int]) -> None:
@@ -47,6 +48,9 @@ def count_matches_batched(
     matrix: CompatibilityMatrix,
     memory_capacity: Optional[int] = None,
     engine: EngineSpec = None,
+    tracer: Optional[Tracer] = None,
+    scan_counter: str = SCANS,
+    patterns_counter: str = PATTERNS_COUNTED,
 ) -> Dict[Pattern, float]:
     """Compute ``M(P, D)`` for every pattern, in as few scans as allowed.
 
@@ -60,6 +64,17 @@ def count_matches_batched(
         ``"vectorized"``, ``"parallel"``), a
         :class:`~repro.engine.MatchEngine` instance, or ``None`` for
         the process default.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; each dispatched batch
+        counts one *scan_counter* tick and ``len(batch)``
+        *patterns_counter* ticks, and is forwarded to the engine for
+        backend-level counters (cache traffic, shard dispatch).
+    scan_counter / patterns_counter:
+        Counter names used for the per-batch accounting.  Phase-2
+        callers counting against the in-memory sample pass
+        ``"sample_scans"`` / ``"sample_patterns_counted"`` so that the
+        ``"scans"`` counter keeps meaning *full-database passes* —
+        the paper's cost metric — exactly.
 
     The number of scans consumed is ``ceil(len(unique patterns) /
     memory_capacity)`` and is observable through the database's
@@ -70,9 +85,14 @@ def count_matches_batched(
         return {}
     validate_memory_capacity(memory_capacity)
     eng = get_engine(engine)
+    tracer = ensure_tracer(tracer)
     batch_size = memory_capacity or len(unique)
     result: Dict[Pattern, float] = {}
     for start in range(0, len(unique), batch_size):
         batch = unique[start : start + batch_size]
-        result.update(eng.database_matches(batch, database, matrix))
+        result.update(
+            eng.database_matches(batch, database, matrix, tracer=tracer)
+        )
+        tracer.count(scan_counter, 1)
+        tracer.count(patterns_counter, len(batch))
     return result

@@ -35,6 +35,7 @@ from ..core.pattern import Pattern, WILDCARD
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
+from ..obs import CANDIDATES_GENERATED, SCANS, Tracer, ensure_tracer
 from .result import MiningResult
 
 
@@ -71,12 +72,15 @@ class DepthFirstMiner:
     and the cost profile differ.
     """
 
+    algorithm = "depthfirst"
+
     def __init__(
         self,
         matrix: CompatibilityMatrix,
         min_match: float,
         constraints: Optional[PatternConstraints] = None,
         engine: EngineSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -84,41 +88,57 @@ class DepthFirstMiner:
         self.min_match = min_match
         self.constraints = constraints or PatternConstraints()
         self.engine = get_engine(engine)
+        self.tracer = ensure_tracer(tracer)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
+        tracer = self.tracer
 
-        # Materialise once: the defining assumption of this class.
-        sequences: List[np.ndarray] = [
-            np.asarray(seq) for _sid, seq in database.scan()
-        ]
-        m = self.matrix.size
+        with tracer.phase("materialize"):
+            # Materialise once: the defining assumption of this class.
+            sequences: List[np.ndarray] = [
+                np.asarray(seq) for _sid, seq in database.scan()
+            ]
+            tracer.count(SCANS, 1)
+            m = self.matrix.size
+            symbol_match = self._symbol_matches(sequences)
 
-        symbol_match = self._symbol_matches(sequences)
         frequent_symbols = [
             d for d in range(m) if symbol_match[d] >= self.min_match
         ]
         frequent: Dict[Pattern, float] = {}
         self._nodes_visited = 0
 
-        for symbol in frequent_symbols:
-            pattern = Pattern.single(symbol)
-            projection = self._project_symbol(sequences, symbol)
-            frequent[pattern] = float(symbol_match[symbol])
-            self._extend(
-                pattern, projection, sequences, frequent_symbols, frequent
-            )
+        with tracer.phase("search"):
+            for symbol in frequent_symbols:
+                pattern = Pattern.single(symbol)
+                projection = self._project_symbol(sequences, symbol)
+                frequent[pattern] = float(symbol_match[symbol])
+                self._extend(
+                    pattern, projection, sequences, frequent_symbols, frequent
+                )
+            # Every visited tree node is one candidate evaluated against
+            # the in-memory projections.
+            tracer.count(CANDIDATES_GENERATED, self._nodes_visited)
 
+        scans = database.scan_count - scans_before
+        elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
             border=Border(frequent),
-            scans=database.scan_count - scans_before,
-            elapsed_seconds=time.perf_counter() - started,
+            scans=scans,
+            elapsed_seconds=elapsed,
             extras={
                 "symbol_match": symbol_match,
                 "nodes_visited": self._nodes_visited,
             },
+            report=tracer.report(
+                algorithm=self.algorithm,
+                engine=self.engine.name,
+                scans=scans,
+                elapsed_seconds=elapsed,
+            ),
         )
 
     # -- internals -----------------------------------------------------------

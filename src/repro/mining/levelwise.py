@@ -23,6 +23,7 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
+from ..obs import CANDIDATES_GENERATED, SCANS, Tracer, ensure_tracer
 from .counting import count_matches_batched, validate_memory_capacity
 from .result import LevelStats, MiningResult
 
@@ -46,7 +47,13 @@ class LevelwiseMiner:
     engine:
         Match-execution backend for every counting pass (a registered
         name or a :class:`~repro.engine.MatchEngine` instance).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records one ``phase1-scan``
+        span plus one ``level-k`` span per lattice level and attaches a
+        :class:`repro.obs.RunReport` to the result.
     """
+
+    algorithm = "levelwise"
 
     def __init__(
         self,
@@ -55,6 +62,7 @@ class LevelwiseMiner:
         constraints: Optional[PatternConstraints] = None,
         memory_capacity: Optional[int] = None,
         engine: EngineSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(
@@ -66,15 +74,19 @@ class LevelwiseMiner:
         self.constraints = constraints or PatternConstraints()
         self.memory_capacity = memory_capacity
         self.engine = get_engine(engine)
+        self.tracer = ensure_tracer(tracer)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         """Run the full breadth-first search over *database*."""
         started = time.perf_counter()
         scans_before = database.scan_count
+        tracer = self.tracer
 
-        symbol_match = self.engine.symbol_matches(
-            database, self.matrix
-        )  # one scan
+        with tracer.phase("phase1-scan"):
+            symbol_match = self.engine.symbol_matches(
+                database, self.matrix
+            )  # one scan
+            tracer.count(SCANS, 1)
         frequent_symbols = [
             d
             for d in range(self.matrix.size)
@@ -101,16 +113,19 @@ class LevelwiseMiner:
             if not candidates:
                 break
             level += 1
-            matches = count_matches_batched(
-                sorted(candidates),
-                database,
-                self.matrix,
-                self.memory_capacity,
-                engine=self.engine,
-            )
-            survivors = {
-                p: v for p, v in matches.items() if v >= self.min_match
-            }
+            with tracer.phase(f"level-{level}"):
+                tracer.count(CANDIDATES_GENERATED, len(candidates))
+                matches = count_matches_batched(
+                    sorted(candidates),
+                    database,
+                    self.matrix,
+                    self.memory_capacity,
+                    engine=self.engine,
+                    tracer=tracer,
+                )
+                survivors = {
+                    p: v for p, v in matches.items() if v >= self.min_match
+                }
             frequent.update(survivors)
             level_stats.append(
                 LevelStats(
@@ -121,13 +136,21 @@ class LevelwiseMiner:
             )
             current = set(survivors)
 
+        scans = database.scan_count - scans_before
+        elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
             border=Border(frequent),
-            scans=database.scan_count - scans_before,
-            elapsed_seconds=time.perf_counter() - started,
+            scans=scans,
+            elapsed_seconds=elapsed,
             level_stats=level_stats,
             extras={"symbol_match": symbol_match},
+            report=tracer.report(
+                algorithm=self.algorithm,
+                engine=self.engine.name,
+                scans=scans,
+                elapsed_seconds=elapsed,
+            ),
         )
 
 

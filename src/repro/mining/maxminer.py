@@ -42,6 +42,7 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
+from ..obs import CANDIDATES_GENERATED, SCANS, Tracer, ensure_tracer
 from .counting import count_matches_batched, validate_memory_capacity
 from .result import LevelStats, MiningResult
 
@@ -54,6 +55,8 @@ class MaxMiner:
     per level (each probe is one extra counter in the scan batch).
     """
 
+    algorithm = "maxminer"
+
     def __init__(
         self,
         matrix: CompatibilityMatrix,
@@ -63,6 +66,7 @@ class MaxMiner:
         lookahead_per_level: int = 16,
         collect_exact_matches: bool = True,
         engine: EngineSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -78,14 +82,18 @@ class MaxMiner:
         self.lookahead_per_level = lookahead_per_level
         self.collect_exact_matches = collect_exact_matches
         self.engine = get_engine(engine)
+        self.tracer = ensure_tracer(tracer)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
+        tracer = self.tracer
 
-        symbol_match = self.engine.symbol_matches(
-            database, self.matrix
-        )  # one scan
+        with tracer.phase("phase1-scan"):
+            symbol_match = self.engine.symbol_matches(
+                database, self.matrix
+            )  # one scan
+            tracer.count(SCANS, 1)
         frequent_symbols = [
             d
             for d in range(self.matrix.size)
@@ -111,31 +119,34 @@ class MaxMiner:
             if not candidates:
                 break
             level += 1
-            # Look-ahead savings: candidates already covered by a frequent
-            # probe need no counter this round.
-            covered = {c for c in candidates if maximal.covers(c)}
-            to_count = sorted(candidates - covered)
-            probes = self._lookahead_probes(current, frequent, maximal)
-            matches = count_matches_batched(
-                to_count + probes,
-                database,
-                self.matrix,
-                self.memory_capacity,
-                engine=self.engine,
-            )
-            survivors: Set[Pattern] = set()
-            for pattern in to_count:
-                value = matches[pattern]
-                if value >= self.min_match:
-                    frequent[pattern] = value
-                    survivors.add(pattern)
-                    maximal.add(pattern)
-            for probe in probes:
-                value = matches[probe]
-                if value >= self.min_match:
-                    probes_hit += 1
-                    frequent[probe] = value
-                    maximal.add(probe)
+            with tracer.phase(f"level-{level}"):
+                tracer.count(CANDIDATES_GENERATED, len(candidates))
+                # Look-ahead savings: candidates already covered by a
+                # frequent probe need no counter this round.
+                covered = {c for c in candidates if maximal.covers(c)}
+                to_count = sorted(candidates - covered)
+                probes = self._lookahead_probes(current, frequent, maximal)
+                matches = count_matches_batched(
+                    to_count + probes,
+                    database,
+                    self.matrix,
+                    self.memory_capacity,
+                    engine=self.engine,
+                    tracer=tracer,
+                )
+                survivors: Set[Pattern] = set()
+                for pattern in to_count:
+                    value = matches[pattern]
+                    if value >= self.min_match:
+                        frequent[pattern] = value
+                        survivors.add(pattern)
+                        maximal.add(pattern)
+                for probe in probes:
+                    value = matches[probe]
+                    if value >= self.min_match:
+                        probes_hit += 1
+                        frequent[probe] = value
+                        maximal.add(probe)
             level_stats.append(
                 LevelStats(level, len(candidates), len(survivors) + len(covered))
             )
@@ -143,20 +154,31 @@ class MaxMiner:
             current = survivors
 
         if self.collect_exact_matches:
-            frequent.update(
-                self._fill_covered_matches(database, maximal, frequent)
-            )
+            with tracer.phase("fill-matches"):
+                frequent.update(
+                    self._fill_covered_matches(
+                        database, maximal, frequent, tracer
+                    )
+                )
 
+        scans = database.scan_count - scans_before
+        elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
             border=Border(frequent),
-            scans=database.scan_count - scans_before,
-            elapsed_seconds=time.perf_counter() - started,
+            scans=scans,
+            elapsed_seconds=elapsed,
             level_stats=level_stats,
             extras={
                 "symbol_match": symbol_match,
                 "lookahead_hits": probes_hit,
             },
+            report=tracer.report(
+                algorithm=self.algorithm,
+                engine=self.engine.name,
+                scans=scans,
+                elapsed_seconds=elapsed,
+            ),
         )
 
     # -- internals --------------------------------------------------------------
@@ -225,6 +247,7 @@ class MaxMiner:
         database: AnySequenceDatabase,
         maximal: Border,
         known: Dict[Pattern, float],
+        tracer: Tracer,
     ) -> Dict[Pattern, float]:
         """One batched pass for patterns frequent-by-coverage but never
         individually counted (so results match the exact miner)."""
@@ -237,5 +260,5 @@ class MaxMiner:
             return {}
         return count_matches_batched(
             sorted(missing), database, self.matrix, self.memory_capacity,
-            engine=self.engine,
+            engine=self.engine, tracer=tracer,
         )

@@ -32,6 +32,7 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
+from ..obs import SCANS, Tracer, ensure_tracer
 from .ambiguous import classify_on_sample
 from .collapsing import collapse_borders
 from .counting import validate_memory_capacity
@@ -67,7 +68,14 @@ class BorderCollapsingMiner:
         instance) used for every full-database and sample counting
         pass.  The backend never changes results or scan counts, only
         throughput.
+    tracer:
+        Optional :class:`repro.obs.Tracer` recording per-phase spans
+        and counters; when given, :meth:`mine` attaches a
+        :class:`repro.obs.RunReport` to the result.  A tracer records
+        one run — create a fresh one per ``mine()`` call.
     """
+
+    algorithm = "border-collapsing"
 
     def __init__(
         self,
@@ -80,6 +88,7 @@ class BorderCollapsingMiner:
         use_restricted_spread: bool = True,
         rng: Optional[np.random.Generator] = None,
         engine: EngineSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -97,6 +106,7 @@ class BorderCollapsingMiner:
         self.use_restricted_spread = use_restricted_spread
         self.rng = rng or np.random.default_rng()
         self.engine = get_engine(engine)
+        self.tracer = ensure_tracer(tracer)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         """Run all three phases and return the discovered patterns.
@@ -108,45 +118,56 @@ class BorderCollapsingMiner:
         """
         started = time.perf_counter()
         scans_before = database.scan_count
+        tracer = self.tracer
         sample_size = min(self.sample_size, len(database))
+        tracer.note("requested_sample_size", self.sample_size)
+        tracer.note("effective_sample_size", sample_size)
 
         # Phase 1 — one scan: per-symbol matches + in-memory sample.
-        symbol_match, sample = symbol_matches_and_sample(
-            database, self.matrix, sample_size, self.rng
-        )
+        with tracer.phase("phase1-scan"):
+            symbol_match, sample = symbol_matches_and_sample(
+                database, self.matrix, sample_size, self.rng
+            )
+            tracer.count(SCANS, 1)
 
         # Phase 2 — in-memory classification (no database passes).  When
         # the sample is the entire database the estimates are exact and
         # the Chernoff band collapses to zero.
-        classification = classify_on_sample(
-            sample,
-            self.matrix,
-            self.min_match,
-            self.delta,
-            symbol_match,
-            self.constraints,
-            use_restricted_spread=self.use_restricted_spread,
-            exact=sample_size >= len(database),
-            engine=self.engine,
-        )
+        with tracer.phase("phase2-sample-mining"):
+            classification = classify_on_sample(
+                sample,
+                self.matrix,
+                self.min_match,
+                self.delta,
+                symbol_match,
+                self.constraints,
+                use_restricted_spread=self.use_restricted_spread,
+                exact=sample_size >= len(database),
+                engine=self.engine,
+                tracer=tracer,
+            )
 
         # Phase 3 — border collapsing over the ambiguous band.
-        outcome = collapse_borders(
-            database,
-            self.matrix,
-            self.min_match,
-            classification,
-            self.memory_capacity,
-            engine=self.engine,
-        )
+        with tracer.phase("phase3-collapse"):
+            outcome = collapse_borders(
+                database,
+                self.matrix,
+                self.min_match,
+                classification,
+                self.memory_capacity,
+                engine=self.engine,
+                tracer=tracer,
+            )
 
         frequent = self._assemble_frequent(classification, outcome.verified,
                                            outcome.border)
+        scans = database.scan_count - scans_before
+        elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
             border=outcome.border,
-            scans=database.scan_count - scans_before,
-            elapsed_seconds=time.perf_counter() - started,
+            scans=scans,
+            elapsed_seconds=elapsed,
             extras={
                 "symbol_match": symbol_match,
                 "classification": classification,
@@ -156,6 +177,12 @@ class BorderCollapsingMiner:
                 "phase3_scans": outcome.scans,
                 "sample_size": sample_size,
             },
+            report=tracer.report(
+                algorithm=self.algorithm,
+                engine=self.engine.name,
+                scans=scans,
+                elapsed_seconds=elapsed,
+            ),
         )
 
     def _assemble_frequent(

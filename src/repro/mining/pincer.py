@@ -31,12 +31,15 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
+from ..obs import CANDIDATES_GENERATED, SCANS, Tracer, ensure_tracer
 from .counting import count_matches_batched, validate_memory_capacity
 from .result import LevelStats, MiningResult
 
 
 class PincerMiner:
     """Bottom-up level-wise search with a top-down MFCS (look-ahead)."""
+
+    algorithm = "pincer"
 
     def __init__(
         self,
@@ -47,6 +50,7 @@ class PincerMiner:
         mfcs_limit: int = 12,
         collect_exact_matches: bool = True,
         engine: EngineSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -60,14 +64,18 @@ class PincerMiner:
         self.mfcs_limit = mfcs_limit
         self.collect_exact_matches = collect_exact_matches
         self.engine = get_engine(engine)
+        self.tracer = ensure_tracer(tracer)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
+        tracer = self.tracer
 
-        symbol_match = self.engine.symbol_matches(
-            database, self.matrix
-        )  # one scan
+        with tracer.phase("phase1-scan"):
+            symbol_match = self.engine.symbol_matches(
+                database, self.matrix
+            )  # one scan
+            tracer.count(SCANS, 1)
         frequent_symbols = [
             d
             for d in range(self.matrix.size)
@@ -93,30 +101,33 @@ class PincerMiner:
             if not candidates:
                 break
             level += 1
-            covered = {c for c in candidates if maximal.covers(c)}
-            to_count = sorted(candidates - covered)
-            probes = sorted(mfcs - set(to_count))
-            matches = count_matches_batched(
-                to_count + probes,
-                database,
-                self.matrix,
-                self.memory_capacity,
-                engine=self.engine,
-            )
-            survivors: Set[Pattern] = set()
-            for pattern in to_count:
-                if matches[pattern] >= self.min_match:
-                    frequent[pattern] = matches[pattern]
-                    survivors.add(pattern)
-                    maximal.add(pattern)
-            for probe in probes:
-                if matches[probe] >= self.min_match:
-                    mfcs_hits += 1
-                    frequent[probe] = matches[probe]
-                    maximal.add(probe)
-                    mfcs.discard(probe)
-                else:
-                    mfcs = self._split_mfcs(mfcs, probe, survivors)
+            with tracer.phase(f"level-{level}"):
+                tracer.count(CANDIDATES_GENERATED, len(candidates))
+                covered = {c for c in candidates if maximal.covers(c)}
+                to_count = sorted(candidates - covered)
+                probes = sorted(mfcs - set(to_count))
+                matches = count_matches_batched(
+                    to_count + probes,
+                    database,
+                    self.matrix,
+                    self.memory_capacity,
+                    engine=self.engine,
+                    tracer=tracer,
+                )
+                survivors: Set[Pattern] = set()
+                for pattern in to_count:
+                    if matches[pattern] >= self.min_match:
+                        frequent[pattern] = matches[pattern]
+                        survivors.add(pattern)
+                        maximal.add(pattern)
+                for probe in probes:
+                    if matches[probe] >= self.min_match:
+                        mfcs_hits += 1
+                        frequent[probe] = matches[probe]
+                        maximal.add(probe)
+                        mfcs.discard(probe)
+                    else:
+                        mfcs = self._split_mfcs(mfcs, probe, survivors)
             level_stats.append(
                 LevelStats(
                     level, len(candidates), len(survivors) + len(covered)
@@ -134,26 +145,36 @@ class PincerMiner:
                 and self.constraints.admits(pattern)
             ]
             if missing:
-                frequent.update(
-                    count_matches_batched(
-                        sorted(missing),
-                        database,
-                        self.matrix,
-                        self.memory_capacity,
-                        engine=self.engine,
+                with tracer.phase("fill-matches"):
+                    frequent.update(
+                        count_matches_batched(
+                            sorted(missing),
+                            database,
+                            self.matrix,
+                            self.memory_capacity,
+                            engine=self.engine,
+                            tracer=tracer,
+                        )
                     )
-                )
 
+        scans = database.scan_count - scans_before
+        elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
             border=Border(frequent),
-            scans=database.scan_count - scans_before,
-            elapsed_seconds=time.perf_counter() - started,
+            scans=scans,
+            elapsed_seconds=elapsed,
             level_stats=level_stats,
             extras={
                 "symbol_match": symbol_match,
                 "mfcs_hits": mfcs_hits,
             },
+            report=tracer.report(
+                algorithm=self.algorithm,
+                engine=self.engine.name,
+                scans=scans,
+                elapsed_seconds=elapsed,
+            ),
         )
 
     # -- MFCS maintenance --------------------------------------------------------

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Set
+from typing import Dict, List, Mapping, Optional, Set
 
 from ..core.border import Border
 from ..core.pattern import Pattern
+from ..obs import RunReport
 
 
 @dataclass
@@ -47,6 +48,9 @@ class MiningResult:
     extras:
         Algorithm-specific diagnostics (e.g. number of ambiguous
         patterns, border distances, probe batches).
+    report:
+        Structured per-phase metrics (:class:`repro.obs.RunReport`)
+        when the miner ran with a live tracer; ``None`` otherwise.
     """
 
     frequent: Dict[Pattern, float]
@@ -55,6 +59,7 @@ class MiningResult:
     elapsed_seconds: float = 0.0
     level_stats: List[LevelStats] = field(default_factory=list)
     extras: Dict[str, object] = field(default_factory=dict)
+    report: Optional[RunReport] = None
 
     @property
     def patterns(self) -> Set[Pattern]:
@@ -85,9 +90,11 @@ class MiningResult:
         """JSON-serialisable representation (patterns as strings).
 
         The inverse is :meth:`from_dict`; `extras` are omitted (they
-        hold arbitrary diagnostic objects).
+        hold arbitrary diagnostic objects).  When the run carried a
+        live tracer, the structured :attr:`report` appears under the
+        ``"metrics"`` key.
         """
-        return {
+        payload: Dict[str, object] = {
             "frequent": {
                 pattern.to_string(): value
                 for pattern, value in sorted(self.frequent.items())
@@ -106,6 +113,9 @@ class MiningResult:
                 for s in self.level_stats
             ],
         }
+        if self.report is not None:
+            payload["metrics"] = self.report.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "MiningResult":
@@ -129,6 +139,11 @@ class MiningResult:
                 )
                 for s in payload.get("level_stats", [])
             ],
+            report=(
+                RunReport.from_dict(payload["metrics"])
+                if payload.get("metrics") is not None
+                else None
+            ),
         )
 
 

@@ -26,6 +26,7 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
+from ..obs import CANDIDATES_GENERATED, SCANS, Tracer, ensure_tracer
 from .ambiguous import classify_on_sample
 from .chernoff import INFREQUENT
 from .counting import count_matches_batched, validate_memory_capacity
@@ -37,6 +38,8 @@ import numpy as np
 class ToivonenMiner:
     """Sample, then verify level by level against the full database."""
 
+    algorithm = "toivonen"
+
     def __init__(
         self,
         matrix: CompatibilityMatrix,
@@ -47,6 +50,7 @@ class ToivonenMiner:
         memory_capacity: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         engine: EngineSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -59,26 +63,36 @@ class ToivonenMiner:
         self.memory_capacity = memory_capacity
         self.rng = rng or np.random.default_rng()
         self.engine = get_engine(engine)
+        self.tracer = ensure_tracer(tracer)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
+        tracer = self.tracer
+        tracer.note("requested_sample_size", self.sample_size)
+        tracer.note(
+            "effective_sample_size", min(self.sample_size, len(database))
+        )
 
         # Phase 1 (shared): symbol matches + sample in one pass.
-        symbol_match, sample = symbol_matches_and_sample(
-            database, self.matrix, self.sample_size, self.rng
-        )
+        with tracer.phase("phase1-scan"):
+            symbol_match, sample = symbol_matches_and_sample(
+                database, self.matrix, self.sample_size, self.rng
+            )
+            tracer.count(SCANS, 1)
         # Phase 2 (shared): classify candidates on the sample; every
         # pattern that is not clearly infrequent must be verified.
-        classification = classify_on_sample(
-            sample,
-            self.matrix,
-            self.min_match,
-            self.delta,
-            symbol_match,
-            self.constraints,
-            engine=self.engine,
-        )
+        with tracer.phase("phase2-sample-mining"):
+            classification = classify_on_sample(
+                sample,
+                self.matrix,
+                self.min_match,
+                self.delta,
+                symbol_match,
+                self.constraints,
+                engine=self.engine,
+                tracer=tracer,
+            )
         to_verify: Dict[int, List[Pattern]] = {}
         for pattern, label in classification.labels.items():
             if label != INFREQUENT and pattern.weight >= 2:
@@ -121,16 +135,19 @@ class ToivonenMiner:
             }
             if not candidates:
                 break
-            matches = count_matches_batched(
-                sorted(candidates),
-                database,
-                self.matrix,
-                self.memory_capacity,
-                engine=self.engine,
-            )
-            survivors = {
-                p: v for p, v in matches.items() if v >= self.min_match
-            }
+            with tracer.phase(f"verify-level-{level}"):
+                tracer.count(CANDIDATES_GENERATED, len(candidates))
+                matches = count_matches_batched(
+                    sorted(candidates),
+                    database,
+                    self.matrix,
+                    self.memory_capacity,
+                    engine=self.engine,
+                    tracer=tracer,
+                )
+                survivors = {
+                    p: v for p, v in matches.items() if v >= self.min_match
+                }
             frequent.update(survivors)
             level_stats.append(
                 LevelStats(level, len(candidates), len(survivors))
@@ -139,11 +156,13 @@ class ToivonenMiner:
 
         border = Border(frequent)
         estimated_border = classification.fqt
+        scans = database.scan_count - scans_before
+        elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
             border=border,
-            scans=database.scan_count - scans_before,
-            elapsed_seconds=time.perf_counter() - started,
+            scans=scans,
+            elapsed_seconds=elapsed,
             level_stats=level_stats,
             extras={
                 "symbol_match": symbol_match,
@@ -151,4 +170,10 @@ class ToivonenMiner:
                 "border_distance": border.level_distance(estimated_border),
                 "ambiguous_patterns": classification.ambiguous_count(),
             },
+            report=tracer.report(
+                algorithm=self.algorithm,
+                engine=self.engine.name,
+                scans=scans,
+                elapsed_seconds=elapsed,
+            ),
         )

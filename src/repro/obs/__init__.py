@@ -1,0 +1,62 @@
+"""Run-level observability: phase tracing, named counters, run reports.
+
+The paper compares algorithms by *database scans per phase*; this
+package makes that metric (and its neighbours: pattern counters,
+probe rounds, factor-cache traffic, parallel shard dispatch) a native
+output of every miner instead of a number inferred from one total.
+
+* :class:`Tracer` — nested phase spans with monotonic timers and named
+  counters; ``tracer=None`` everywhere resolves to the shared no-op
+  :data:`NULL_TRACER` so untraced runs pay nothing.
+* :class:`RunReport` / :class:`PhaseReport` — the frozen, serialisable
+  form attached to every traced ``MiningResult`` and emitted by the
+  CLI's ``--metrics-json``.
+"""
+
+from __future__ import annotations
+
+from .report import PhaseReport, RunReport, phase_report_from_span
+from .tracer import (
+    AMBIGUOUS_REMAINING,
+    CANDIDATES_GENERATED,
+    FACTOR_CACHE_EVICTIONS,
+    FACTOR_CACHE_HITS,
+    FACTOR_CACHE_MISSES,
+    INLINE_FALLBACKS,
+    NULL_TRACER,
+    NullTracer,
+    PATTERNS_COUNTED,
+    PROBE_ROUNDS,
+    PROBES,
+    SAMPLE_PATTERNS_COUNTED,
+    SAMPLE_SCANS,
+    SCANS,
+    SHARDS_DISPATCHED,
+    Span,
+    Tracer,
+    ensure_tracer,
+)
+
+__all__ = [
+    "AMBIGUOUS_REMAINING",
+    "CANDIDATES_GENERATED",
+    "FACTOR_CACHE_EVICTIONS",
+    "FACTOR_CACHE_HITS",
+    "FACTOR_CACHE_MISSES",
+    "INLINE_FALLBACKS",
+    "NULL_TRACER",
+    "NullTracer",
+    "PATTERNS_COUNTED",
+    "PROBE_ROUNDS",
+    "PROBES",
+    "PhaseReport",
+    "RunReport",
+    "SAMPLE_PATTERNS_COUNTED",
+    "SAMPLE_SCANS",
+    "SCANS",
+    "SHARDS_DISPATCHED",
+    "Span",
+    "Tracer",
+    "ensure_tracer",
+    "phase_report_from_span",
+]

@@ -1,0 +1,174 @@
+"""Structured run reports: the serialisable face of a traced run.
+
+A :class:`RunReport` is what a :class:`~repro.obs.tracer.Tracer`
+freezes into at the end of one mining run: the phase tree with per-span
+timings and counters, the run-wide counter totals, and a free-form
+context block (resolved worker count, effective sample size, engine
+name, ...).  It is attached to
+:class:`~repro.mining.result.MiningResult` as ``result.report``,
+surfaced by the CLI as ``--metrics-json`` / the ``metrics`` block of
+``--json`` output, and consumed by the eval harness so experiment
+tables can break scans down by phase exactly as the paper's cost
+analysis does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from .tracer import SCANS, Span
+
+
+@dataclass
+class PhaseReport:
+    """One frozen span: name, duration, counters (descendants included),
+    notes, and child phases."""
+
+    name: str
+    elapsed_seconds: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    notes: Dict[str, object] = field(default_factory=dict)
+    children: List["PhaseReport"] = field(default_factory=list)
+
+    @property
+    def scans(self) -> int:
+        """Database passes consumed in this phase (children included)."""
+        return int(self.counters.get(SCANS, 0))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "elapsed_seconds": self.elapsed_seconds,
+            "counters": dict(self.counters),
+            "notes": dict(self.notes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PhaseReport":
+        return cls(
+            name=str(payload["name"]),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            counters={
+                str(k): int(v)
+                for k, v in dict(payload.get("counters", {})).items()
+            },
+            notes=dict(payload.get("notes", {})),
+            children=[
+                cls.from_dict(child)
+                for child in payload.get("children", [])
+            ],
+        )
+
+
+@dataclass
+class RunReport:
+    """Per-run observability summary: phases, counters, context.
+
+    Attributes
+    ----------
+    algorithm:
+        The miner that produced the run (``"border-collapsing"``,
+        ``"levelwise"``, ...).
+    engine:
+        Name of the match-execution backend used.
+    scans:
+        Total full-database passes, as measured by the database's own
+        ``scan_count`` delta.  Always equals the sum of the top-level
+        phases' ``"scans"`` counters (asserted by the test-suite for
+        every miner × engine combination).
+    elapsed_seconds:
+        Wall-clock time of the run (monotonic clock).
+    phases:
+        The top-level phase spans, in execution order.
+    counters:
+        Run-wide totals of every named counter.
+    context:
+        Run-level notes: resolved parallel worker count, effective
+        sample size, and other point-in-time values.
+    """
+
+    algorithm: str
+    engine: str
+    scans: int
+    elapsed_seconds: float
+    phases: List[PhaseReport] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    context: Dict[str, object] = field(default_factory=dict)
+
+    def phase(self, name: str) -> Optional[PhaseReport]:
+        """The first top-level phase with the given name, if any."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        return None
+
+    def scans_by_phase(self) -> Dict[str, int]:
+        """``{phase name: scans}`` over the top-level phases.
+
+        The values sum to :attr:`scans` — the per-phase decomposition
+        of the paper's cost metric.  Repeated phase names (e.g. one
+        span per lattice level) are merged by summation.
+        """
+        out: Dict[str, int] = {}
+        for phase in self.phases:
+            out[phase.name] = out.get(phase.name, 0) + phase.scans
+        return out
+
+    def total(self, counter: str) -> int:
+        """Run-wide total of one counter (0 when never recorded)."""
+        return int(self.counters.get(counter, 0))
+
+    def summary(self) -> str:
+        """One-line human-readable account of where the scans went."""
+        parts = [
+            f"{name}={n}" for name, n in self.scans_by_phase().items()
+        ]
+        return (
+            f"{self.algorithm}/{self.engine}: {self.scans} scans "
+            f"({', '.join(parts) if parts else 'untraced'}), "
+            f"{self.elapsed_seconds:.3f}s"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (inverse of
+        :meth:`from_dict`)."""
+        return {
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "scans": self.scans,
+            "elapsed_seconds": self.elapsed_seconds,
+            "phases": [phase.to_dict() for phase in self.phases],
+            "counters": dict(self.counters),
+            "context": dict(self.context),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunReport":
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            engine=str(payload["engine"]),
+            scans=int(payload["scans"]),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            phases=[
+                PhaseReport.from_dict(phase)
+                for phase in payload.get("phases", [])
+            ],
+            counters={
+                str(k): int(v)
+                for k, v in dict(payload.get("counters", {})).items()
+            },
+            context=dict(payload.get("context", {})),
+        )
+
+
+def phase_report_from_span(span: Span) -> PhaseReport:
+    """Freeze one tracer span (and its subtree) into a report node."""
+    return PhaseReport(
+        name=span.name,
+        elapsed_seconds=span.elapsed_seconds,
+        counters=dict(span.counters),
+        notes=dict(span.notes),
+        children=[phase_report_from_span(c) for c in span.children],
+    )

@@ -1,0 +1,279 @@
+"""Phase tracing: nested timed spans with named counters.
+
+The paper's entire cost analysis is phrased as *database scans consumed
+per phase* (Algorithms 4.1-4.4): one Phase-1 scan, zero Phase-2 scans
+(the sample is memory-resident), and a handful of Phase-3 probe scans.
+:class:`Tracer` makes that accounting observable at run time instead of
+inferable from a single total: miners open a span per phase (and per
+probe round), and every component that consumes or saves work reports
+it through named counters — scans, patterns counted, candidates
+generated, factor-cache hits, parallel shards, and so on.
+
+Design constraints, in order:
+
+1. **Zero cost when unused.**  Every traced function takes
+   ``tracer=None`` and resolves it through :func:`ensure_tracer` to the
+   shared :data:`NULL_TRACER`, whose methods are empty and whose
+   ``phase`` returns one reusable no-op context manager.  The hot
+   kernels never branch on tracing more than once per batch.
+2. **Counters roll up.**  ``count()`` adds to every span on the current
+   stack, so a span's counters always include its descendants and the
+   root totals are the whole run's.  The acceptance invariant — the
+   per-phase ``"scans"`` counters of the top-level spans sum exactly to
+   the database's ``scan_count`` — follows directly.
+3. **Monotonic timers.**  Span timing uses ``time.perf_counter`` so
+   wall-clock adjustments never produce negative phase durations.
+
+A tracer records one run: create a fresh one per ``mine()`` call (the
+CLI and the eval harness do).  Reusing a tracer across runs simply
+accumulates spans and counters, which is occasionally useful for
+aggregate accounting but mixes phases in the report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import MiningError
+
+#: Canonical counter names (engines and miners agree on these; the
+#: report schema test pins them).
+SCANS = "scans"
+SAMPLE_SCANS = "sample_scans"
+PATTERNS_COUNTED = "patterns_counted"
+SAMPLE_PATTERNS_COUNTED = "sample_patterns_counted"
+CANDIDATES_GENERATED = "candidates_generated"
+AMBIGUOUS_REMAINING = "ambiguous_remaining"
+PROBE_ROUNDS = "probe_rounds"
+PROBES = "probes"
+FACTOR_CACHE_HITS = "factor_cache_hits"
+FACTOR_CACHE_MISSES = "factor_cache_misses"
+FACTOR_CACHE_EVICTIONS = "factor_cache_evictions"
+SHARDS_DISPATCHED = "shards_dispatched"
+INLINE_FALLBACKS = "inline_fallbacks"
+
+
+class Span:
+    """A named, timed scope of a run, with counters and notes.
+
+    Counters are additive integers (scans, patterns, cache hits);
+    notes are point-in-time values (worker counts, remaining ambiguous
+    patterns after a round) that would be meaningless summed.
+    """
+
+    __slots__ = ("name", "counters", "notes", "children",
+                 "elapsed_seconds", "_started")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.counters: Dict[str, int] = {}
+        self.notes: Dict[str, object] = {}
+        self.children: List["Span"] = []
+        self.elapsed_seconds = 0.0
+        self._started: Optional[float] = None
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @property
+    def scans(self) -> int:
+        """Database passes consumed inside this span (descendants
+        included)."""
+        return self.counters.get(SCANS, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.elapsed_seconds:.3f}s, "
+            f"counters={self.counters})"
+        )
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.phase`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._span._started = time.perf_counter()
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *_exc) -> None:
+        span = self._tracer._stack.pop()
+        if span is not self._span:  # pragma: no cover - misuse guard
+            raise MiningError(
+                f"tracer phases closed out of order: expected "
+                f"{self._span.name!r}, got {span.name!r}"
+            )
+        span.elapsed_seconds += time.perf_counter() - span._started
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager (one shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class Tracer:
+    """Collects nested phase spans and named counters for one run.
+
+    Usage::
+
+        tracer = Tracer()
+        with tracer.phase("phase1-scan"):
+            ...
+            tracer.count("scans")
+        report = tracer.report(algorithm="levelwise", engine="reference",
+                               scans=..., elapsed_seconds=...)
+    """
+
+    #: False only on :class:`NullTracer`; lets hot paths skip optional
+    #: bookkeeping (e.g. cache-counter snapshots) in one check.
+    enabled = True
+
+    def __init__(self):
+        self._root = Span("run")
+        self._root._started = time.perf_counter()
+        self._stack: List[Span] = [self._root]
+
+    # -- recording ------------------------------------------------------------
+
+    def phase(self, name: str) -> _SpanContext:
+        """Open a nested span; use as a context manager."""
+        span = Span(name)
+        self._stack[-1].children.append(span)
+        return _SpanContext(self, span)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add *n* to counter *name* on every span of the current stack.
+
+        Rolling up at record time keeps every span's counters inclusive
+        of its descendants — the property the per-phase scan invariant
+        relies on.
+        """
+        for span in self._stack:
+            span.count(name, n)
+
+    def annotate(self, key: str, value: object) -> None:
+        """Attach a point-in-time note to the **current** span."""
+        self._stack[-1].notes[key] = value
+
+    def note(self, key: str, value: object) -> None:
+        """Attach a run-level note (lands in ``RunReport.context``)."""
+        self._root.notes[key] = value
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def root(self) -> Span:
+        return self._root
+
+    def phases(self) -> List[Span]:
+        """The top-level spans recorded so far."""
+        return list(self._root.children)
+
+    def total(self, name: str) -> int:
+        """The run-wide total of one counter."""
+        return self._root.counters.get(name, 0)
+
+    def totals(self) -> Dict[str, int]:
+        """All run-wide counter totals."""
+        return dict(self._root.counters)
+
+    def walk(self) -> Iterator[Span]:
+        """Every span, depth first, root first."""
+        stack = [self._root]
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def report(
+        self,
+        algorithm: str,
+        engine: str,
+        scans: int,
+        elapsed_seconds: float,
+    ) -> "RunReport":
+        """Freeze the recorded spans into a :class:`RunReport`."""
+        from .report import RunReport, phase_report_from_span
+
+        return RunReport(
+            algorithm=algorithm,
+            engine=engine,
+            scans=scans,
+            elapsed_seconds=elapsed_seconds,
+            phases=[
+                phase_report_from_span(span) for span in self._root.children
+            ],
+            counters=self.totals(),
+            context=dict(self._root.notes),
+        )
+
+
+class NullTracer(Tracer):
+    """The no-op tracer: every method does nothing, reports are ``None``.
+
+    One shared instance (:data:`NULL_TRACER`) backs every untraced run;
+    the class allocates no spans at all, so the only residual cost on
+    traced code paths is an attribute lookup and an empty call.
+    """
+
+    enabled = False
+
+    def __init__(self):  # deliberately no span allocation
+        pass
+
+    def phase(self, name: str) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def annotate(self, key: str, value: object) -> None:
+        return None
+
+    def note(self, key: str, value: object) -> None:
+        return None
+
+    @property
+    def root(self) -> Span:
+        raise MiningError("the null tracer records nothing")
+
+    def phases(self) -> List[Span]:
+        return []
+
+    def total(self, name: str) -> int:
+        return 0
+
+    def totals(self) -> Dict[str, int]:
+        return {}
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+    def report(self, *args, **kwargs) -> None:  # type: ignore[override]
+        return None
+
+
+#: The shared no-op tracer every ``tracer=None`` resolves to.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Resolve an optional tracer argument to a usable instance."""
+    return tracer if tracer is not None else NULL_TRACER

@@ -10,6 +10,8 @@ one scan per ``database_matches`` call.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -31,10 +33,13 @@ from repro.engine import (
     ParallelEngine,
     ReferenceEngine,
     VectorizedBatchEngine,
+    WORKERS_ENV_VAR,
     available_engines,
     get_engine,
+    resolve_worker_count,
 )
 from repro.mining import LevelwiseMiner
+from repro.obs import INLINE_FALLBACKS, SHARDS_DISPATCHED, Tracer
 
 M = 5  # alphabet size used throughout
 
@@ -357,3 +362,109 @@ class TestMinerEquivalence:
                 )
             assert result.scans == baseline.scans
             assert result.border == baseline.border
+
+
+class TestParallelLifecycle:
+    """Pool lifecycle, asserted via the engine's lifetime counters."""
+
+    def _database(self, n: int = 8) -> SequenceDatabase:
+        return SequenceDatabase(
+            [[i % M, (i + 1) % M, (i + 2) % M] for i in range(n)]
+        )
+
+    def _batch(self):
+        return [Pattern.single(0), Pattern([0, 1])]
+
+    def test_inline_fallback_below_min_shard_rows(self, fig2_matrix):
+        engine = ParallelEngine(n_workers=2, min_shard_rows=64)
+        tracer = Tracer()
+        result = engine.database_matches(
+            self._batch(), self._database(8), fig2_matrix, tracer=tracer
+        )
+        assert engine.inline_fallbacks == 1
+        assert engine.shards_dispatched == 0
+        assert engine.pools_created == 0  # no pool was ever built
+        assert tracer.total(INLINE_FALLBACKS) == 1
+        assert tracer.total(SHARDS_DISPATCHED) == 0
+        baseline = REF.database_matches(
+            self._batch(), self._database(8), fig2_matrix
+        )
+        for pattern, value in baseline.items():
+            assert result[pattern] == pytest.approx(value, abs=1e-12)
+
+    def test_single_worker_never_shards(self, fig2_matrix):
+        engine = ParallelEngine(n_workers=1, min_shard_rows=1)
+        engine.database_matches(
+            self._batch(), self._database(8), fig2_matrix
+        )
+        assert engine.pools_created == 0
+        assert engine.inline_fallbacks == 1
+
+    def test_pool_reused_then_rebuilt_on_matrix_change(self, fig2_matrix):
+        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        other = CompatibilityMatrix(np.eye(M))
+        database = self._database(8)
+        try:
+            tracer = Tracer()
+            result = engine.database_matches(
+                self._batch(), database, fig2_matrix, tracer=tracer
+            )
+            assert engine.pools_created == 1
+            assert tracer.total(SHARDS_DISPATCHED) == 2
+            assert tracer.root.notes["workers"] == 2
+
+            engine.database_matches(self._batch(), database, fig2_matrix)
+            assert engine.pools_created == 1  # same matrix: pool reused
+
+            rebuilt = engine.database_matches(
+                self._batch(), database, other
+            )
+            assert engine.pools_created == 2  # new matrix: pool rebuilt
+            baseline = REF.database_matches(self._batch(), database, other)
+            for pattern, value in baseline.items():
+                assert rebuilt[pattern] == pytest.approx(value, abs=1e-12)
+        finally:
+            engine.close()
+
+    def test_close_is_idempotent_and_pool_comes_back(self, fig2_matrix):
+        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        database = self._database(8)
+        try:
+            engine.database_matches(self._batch(), database, fig2_matrix)
+            assert engine.pools_created == 1
+            engine.close()
+            engine.close()  # second close is a no-op, not an error
+            engine.database_matches(self._batch(), database, fig2_matrix)
+            assert engine.pools_created == 2
+        finally:
+            engine.close()
+
+
+class TestWorkerResolution:
+    def test_explicit_request_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert resolve_worker_count(3) == 3
+
+    def test_explicit_request_must_be_positive(self):
+        with pytest.raises(MiningError):
+            resolve_worker_count(0)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "5")
+        assert resolve_worker_count() == 5
+        assert ParallelEngine().n_workers == 5
+
+    @pytest.mark.parametrize("value", ["zebra", "0", "-2"])
+    def test_env_override_must_be_a_positive_integer(
+        self, monkeypatch, value
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, value)
+        with pytest.raises(MiningError):
+            resolve_worker_count()
+
+    def test_default_follows_cpu_affinity(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        resolved = resolve_worker_count()
+        assert resolved >= 1
+        if hasattr(os, "sched_getaffinity"):
+            assert resolved == len(os.sched_getaffinity(0))

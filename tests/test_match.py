@@ -192,10 +192,23 @@ class TestCombinedPhaseOne:
         sample.sequence(sid)[0] = 99
         assert fig4_database.sequence(sid)[0] != 99
 
-    def test_oversample_rejected(self, fig2_matrix, fig4_database, rng):
+    def test_oversample_clamps_to_whole_database(
+        self, fig2_matrix, fig4_database, rng
+    ):
+        state_before = rng.bit_generator.state
+        values, sample = symbol_matches_and_sample(
+            fig4_database, fig2_matrix, sample_size=10, rng=rng
+        )
+        assert len(sample) == len(fig4_database)
+        assert sorted(sample.ids) == sorted(fig4_database.ids)
+        # Selecting everything is deterministic: no random draws made.
+        assert rng.bit_generator.state == state_before
+        assert values == pytest.approx([0.7, 0.8, 0.3875, 0.425, 0.075])
+
+    def test_zero_sample_rejected(self, fig2_matrix, fig4_database, rng):
         with pytest.raises(MiningError):
             symbol_matches_and_sample(
-                fig4_database, fig2_matrix, sample_size=10, rng=rng
+                fig4_database, fig2_matrix, sample_size=0, rng=rng
             )
 
 

@@ -167,11 +167,12 @@ class TestMinerEntryPoints:
         real = counting_module.count_matches_batched
 
         def checked(patterns, database, matrix, memory_capacity=None,
-                    engine=None):
+                    engine=None, **kwargs):
             unique = list(dict.fromkeys(patterns))
             before = database.scan_count
             result = real(
-                unique, database, matrix, memory_capacity, engine=engine
+                unique, database, matrix, memory_capacity, engine=engine,
+                **kwargs,
             )
             delta = database.scan_count - before
             if not unique:

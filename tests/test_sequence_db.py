@@ -115,12 +115,27 @@ class TestSampling:
         sample = db.sample(5, rng)
         assert sorted(sample.ids) == [0, 1, 2, 3, 4]
 
-    def test_oversample_rejected(self, rng):
+    def test_oversample_clamps_to_whole_database(self, rng):
         db = SequenceDatabase([[1], [2]])
-        with pytest.raises(SamplingError):
-            db.sample(3, rng)
+        sample = db.sample(3, rng)
+        assert sorted(sample.ids) == [0, 1]
         with pytest.raises(SamplingError):
             db.sample(0, rng)
+
+    def test_oversample_is_deterministic_without_rng_draws(self, tmp_path):
+        # Clamped oversampling selects the whole database in scan order
+        # and must not consume the random stream, on either backend.
+        db = SequenceDatabase([[i] for i in range(6)], ids=range(10, 16))
+        rng = np.random.default_rng(0)
+        state_before = rng.bit_generator.state
+        assert db.sample(99, rng).ids == tuple(range(10, 16))
+        assert rng.bit_generator.state == state_before
+        path = tmp_path / "seqs.txt"
+        db.save(path)
+        file_db = FileSequenceDatabase(path)
+        state_before = rng.bit_generator.state
+        assert file_db.sample(99, rng).ids == tuple(range(10, 16))
+        assert rng.bit_generator.state == state_before
 
     def test_seed_is_deterministic(self):
         db = SequenceDatabase([[i] for i in range(40)])
