@@ -1,0 +1,294 @@
+"""Phase-2 sample counting: resident evaluator vs vectorized backend.
+
+Phase 2 counts every BFS level against one fixed in-memory sample, and
+is where the bulk of a run's wall-clock goes once Phase-3 scans are
+down to a handful.  This benchmark captures the *actual* per-level
+candidate batches of one ``classify_on_sample`` run (via a recording
+engine), then replays them through
+:func:`repro.mining.counting.count_matches_batched` — the same dispatch
+point the miners use — per backend:
+
+* ``vectorized`` — the previous best: flat per-batch evaluation with a
+  warm factor cache;
+* ``resident``   — the incremental evaluator: sample pinned once,
+  each child's score plane derived from its parent's in O(W·N)
+  (``reset_planes()`` between rounds, so every round rebuilds its
+  planes the way one real Phase-2 run does).
+
+Two workloads bracket the paper's experiments: ``fig9`` (protein
+composition, mean length 60 — the long-sequence regime of Figure 9)
+and ``fig14`` (mean length 30, the performance-comparison shape of
+Figure 14).  Backends are timed in interleaved rounds and the recorded
+figure is the best round.  Before timing, a correctness gate checks
+the resident results are **bit-identical** to the vectorized backend
+(equal ``chunk_rows``) and agree with the reference engine to 1e-12 on
+a spot-check subset.
+
+Run as a script to write ``BENCH_phase2.json`` next to the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_phase2_sample.py
+
+``--smoke`` runs a tiny workload for two rounds and skips the
+per-workload speedup gates — a correctness-only pass for CI, where
+shared runners make timing assertions meaningless.  Through
+pytest-benchmark::
+
+    pytest benchmarks/bench_phase2_sample.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import CompatibilityMatrix, Pattern, PatternConstraints
+from repro.core.sequence import SequenceDatabase
+from repro.datagen.noise import corrupt_uniform
+from repro.engine import (
+    ReferenceEngine,
+    ResidentSampleEvaluator,
+    VectorizedBatchEngine,
+)
+from repro.mining.ambiguous import classify_on_sample
+from repro.mining.counting import count_matches_batched
+
+from _workloads import BenchScale, build_standard_database, run_once
+
+ALPHA = 0.2
+DELTA = 1e-4
+ROUNDS = 5
+SMOKE_ROUNDS = 2
+SAMPLE_SEED = 23
+REFERENCE_SPOT_CHECK = 150
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_phase2.json"
+
+#: name -> (scale, min_match, speedup gate).  The thresholds are tuned
+#: so the BFS reaches deep levels without the candidate space exploding
+#: (the degenerate-band regime Figure 10 warns about).  The gates are
+#: regression floors: fig9 is the long-sequence regime the resident
+#: evaluator targets and must hold 3x (it measures 4.4-5x); fig14's
+#: shorter sequences mean shorter prefix chains, so the incremental
+#: saving is structurally smaller — it measures ~3x but sits close
+#: enough to the line that baseline timing noise would make a 3x gate
+#: flap, hence the 2.5x floor.
+WORKLOADS: Dict[str, Tuple[BenchScale, float, float]] = {
+    "fig9": (BenchScale(400, 200, 60, (1,)), 0.15, 3.0),
+    "fig14": (BenchScale(400, 200, 30, (1,)), 0.12, 2.5),
+}
+SMOKE_WORKLOADS: Dict[str, Tuple[BenchScale, float, float]] = {
+    "smoke": (BenchScale(60, 40, 12, (1,)), 0.30, 0.0),
+}
+CONSTRAINTS = PatternConstraints(max_weight=10, max_span=10, max_gap=0)
+
+
+class _RecordingEngine(VectorizedBatchEngine):
+    """Vectorized backend that records every batch it is handed."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches: List[List[Pattern]] = []
+
+    def database_matches(self, patterns, database, matrix, tracer=None):
+        patterns = list(patterns)
+        if patterns:
+            self.batches.append(patterns)
+        return super().database_matches(patterns, database, matrix, tracer)
+
+
+def build_workload(scale: BenchScale, min_match: float):
+    """The Phase-2 inputs: sample, matrix, symbol matches, batches."""
+    std, _motifs, m = build_standard_database(scale, protein=True)
+    rng = np.random.default_rng(scale.noise_seeds[0])
+    noisy = corrupt_uniform(std, m, ALPHA, rng)
+    matrix = CompatibilityMatrix.uniform_noise(m, ALPHA)
+    rows = [seq for _sid, seq in noisy.scan()]
+    sample_rng = np.random.default_rng(SAMPLE_SEED)
+    picks = sorted(
+        sample_rng.choice(len(rows), size=scale.sample_size, replace=False)
+    )
+    sample = SequenceDatabase([rows[i] for i in picks])
+    # Symbol matches come from the full database, exactly as Phase 1
+    # hands them to Phase 2.
+    symbol_match = VectorizedBatchEngine().symbol_matches(noisy, matrix)
+    recorder = _RecordingEngine()
+    classify_on_sample(
+        sample, matrix, min_match, DELTA, symbol_match, CONSTRAINTS,
+        engine=recorder,
+    )
+    return sample, matrix, recorder.batches
+
+
+def replay(engine, batches, sample, matrix) -> Dict[Pattern, float]:
+    result: Dict[Pattern, float] = {}
+    for batch in batches:
+        result.update(
+            count_matches_batched(batch, sample, matrix, engine=engine)
+        )
+    return result
+
+
+def verify(batches, sample, matrix, vec_result, res_result) -> Dict:
+    """The correctness gate: bit-identity plus a reference spot check."""
+    mismatches = sum(
+        1
+        for batch in batches
+        for p in batch
+        if res_result[p] != vec_result[p]
+    )
+    if mismatches:
+        raise AssertionError(
+            f"resident deviates from vectorized on {mismatches} patterns "
+            "(bit-identity is part of the evaluator's contract)"
+        )
+    largest = max(batches, key=len)
+    subset = largest[:REFERENCE_SPOT_CHECK]
+    expected = ReferenceEngine().database_matches(subset, sample, matrix)
+    worst = max(abs(res_result[p] - expected[p]) for p in subset)
+    if worst > 1e-12:
+        raise AssertionError(
+            f"resident deviates from reference by {worst}"
+        )
+    return {
+        "bit_identical_to_vectorized": True,
+        "reference_spot_check_patterns": len(subset),
+        "reference_max_abs_deviation": worst,
+    }
+
+
+def measure_workload(
+    name: str, scale: BenchScale, min_match: float,
+    rounds: int, gate: bool,
+) -> Dict:
+    sample, matrix, batches = build_workload(scale, min_match)
+    vec = VectorizedBatchEngine()
+    res = ResidentSampleEvaluator()
+
+    vec_result = replay(vec, batches, sample, matrix)
+    res_result = replay(res, batches, sample, matrix)
+    equivalence = (
+        verify(batches, sample, matrix, vec_result, res_result)
+        if gate else {"bit_identical_to_vectorized": None}
+    )
+
+    timings: Dict[str, List[float]] = {"vectorized": [], "resident": []}
+    for _ in range(rounds):
+        started = time.perf_counter()
+        replay(vec, batches, sample, matrix)
+        timings["vectorized"].append(time.perf_counter() - started)
+        # Planes are per-run state; the pin (like the vectorized factor
+        # cache) legitimately persists across rounds.
+        res.reset_planes()
+        started = time.perf_counter()
+        replay(res, batches, sample, matrix)
+        timings["resident"].append(time.perf_counter() - started)
+
+    best_vec = min(timings["vectorized"])
+    best_res = min(timings["resident"])
+    n_patterns = sum(len(b) for b in batches)
+    return {
+        "workload": {
+            "name": name,
+            "n_sequences": scale.n_sequences,
+            "sample_size": scale.sample_size,
+            "mean_length": scale.mean_length,
+            "alphabet": matrix.size,
+            "alpha": ALPHA,
+            "min_match": min_match,
+            "delta": DELTA,
+            "levels": [len(b) for b in batches],
+            "n_patterns": n_patterns,
+            "rounds": rounds,
+        },
+        "equivalence": equivalence,
+        "engines": {
+            "vectorized": {
+                "best_seconds": best_vec,
+                "median_seconds": sorted(
+                    timings["vectorized"]
+                )[rounds // 2],
+                "patterns_per_sec": n_patterns / best_vec,
+            },
+            "resident": {
+                "best_seconds": best_res,
+                "median_seconds": sorted(
+                    timings["resident"]
+                )[rounds // 2],
+                "patterns_per_sec": n_patterns / best_res,
+                "speedup_vs_vectorized": best_vec / best_res,
+                "plane_store_bytes": res.planes.nbytes,
+                "pinned_bytes": res._pin.nbytes if res._pin else 0,
+            },
+        },
+    }
+
+
+def measure(smoke: bool = False) -> Dict:
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    rounds = SMOKE_ROUNDS if smoke else ROUNDS
+    return {
+        "benchmark": "phase-2 sample counting",
+        "smoke": smoke,
+        "speedup_gates": {
+            name: (None if smoke else gate)
+            for name, (_scale, _mm, gate) in workloads.items()
+        },
+        "workloads": {
+            name: measure_workload(
+                name, scale, min_match, rounds, gate=not smoke
+            )
+            for name, (scale, min_match, _gate) in workloads.items()
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload, two rounds, no speedup gate "
+             "(CI correctness pass)",
+    )
+    args = parser.parse_args(argv)
+    report = measure(smoke=args.smoke)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    failed = False
+    for name, row in report["workloads"].items():
+        resident = row["engines"]["resident"]
+        speedup = resident["speedup_vs_vectorized"]
+        print(
+            f"{name:8s} {row['workload']['n_patterns']:6d} candidates in "
+            f"{len(row['workload']['levels'])} levels   "
+            f"vectorized {row['engines']['vectorized']['best_seconds']:7.3f}s   "
+            f"resident {resident['best_seconds']:7.3f}s   "
+            f"{speedup:.2f}x"
+        )
+        gate = report["speedup_gates"][name]
+        if not args.smoke and gate and speedup < gate:
+            print(
+                f"WARNING: {name} resident speedup {speedup:.2f}x is "
+                f"below {gate}x"
+            )
+            failed = True
+    print(f"wrote {OUTPUT}")
+    return 1 if failed else 0
+
+
+def test_phase2_sample(benchmark):
+    """pytest-benchmark entry point (smoke-sized, correctness-gated)."""
+    scale, min_match, _gate = SMOKE_WORKLOADS["smoke"]
+    report = run_once(
+        benchmark,
+        lambda: measure_workload(
+            "smoke", scale, min_match, rounds=SMOKE_ROUNDS, gate=True
+        ),
+    )
+    assert report["equivalence"]["bit_identical_to_vectorized"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,8 +6,13 @@ Generates a tiny synthetic database, runs ``noisymine mine`` with
 validates the resulting RunReport files: required keys present, the
 per-phase ``scans`` counters of the top-level phases summing exactly to
 the reported total, and the metrics block of ``--json`` output matching
-the standalone file.  The JSON files are left in the output directory
-so the CI workflow can upload them as an artifact.
+the standalone file.  One combination additionally runs with
+``--resident-sample`` and checks the resident plane-store counters
+reach the report.  Finally the Phase-2 sample benchmark runs in
+``--smoke`` mode (correctness gate only, no timing assertions) and its
+``BENCH_phase2.json`` is copied next to the metrics files.  Everything
+is left in the output directory so the CI workflow can upload it as an
+artifact.
 
 Usage::
 
@@ -18,22 +23,33 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 from pathlib import Path
 
 from repro.cli import main as cli_main
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 
 #: algorithm × engine spread covered by the smoke pass (every algorithm
 #: at least once, every engine at least once).
 COMBINATIONS = [
     ("border-collapsing", "reference"),
     ("border-collapsing", "vectorized"),
+    ("border-collapsing", "resident"),
     ("levelwise", "parallel"),
     ("maxminer", "vectorized"),
     ("pincer", "reference"),
     ("toivonen", "vectorized"),
     ("depthfirst", "reference"),
 ]
+
+#: counters --resident-sample must surface in the RunReport.
+RESIDENT_COUNTERS = (
+    "resident_plane_hits",
+    "resident_plane_misses",
+    "resident_plane_bytes",
+)
 
 REQUIRED_KEYS = {
     "algorithm", "engine", "scans", "elapsed_seconds",
@@ -102,7 +118,45 @@ def main(argv=None) -> int:
         print(f"{algorithm:18s} {engine:10s} scans={payload['scans']} "
               f"phases={phases}")
 
-    print(f"all {len(COMBINATIONS)} metrics reports valid; "
+    # The resident evaluator behind the Phase-2 flag: same scan
+    # accounting as the plain run, plus plane-store counters.
+    resident_path = out / "metrics_border-collapsing_resident-sample.json"
+    rc = cli_main([
+        "mine", str(db_path), "--alphabet", "6",
+        "--min-match", "0.6", "--noise", "0.05",
+        "--algorithm", "border-collapsing", "--engine", "vectorized",
+        "--resident-sample",
+        "--sample-size", "80", "--max-weight", "4", "--max-span", "5",
+        "--seed", "7", "--metrics-json", str(resident_path),
+    ])
+    if rc != 0:
+        print("mine failed for --resident-sample", file=sys.stderr)
+        return rc
+    payload = json.loads(resident_path.read_text())
+    validate_report(payload, "border-collapsing", "vectorized")
+    missing = [
+        name for name in RESIDENT_COUNTERS
+        if name not in payload["counters"]
+    ]
+    if missing:
+        raise AssertionError(
+            f"--resident-sample report lacks counters: {missing}"
+        )
+    print(f"{'border-collapsing':18s} {'resident-sample':10s} "
+          f"scans={payload['scans']} plane_counters=ok")
+
+    # Phase-2 sample benchmark, smoke mode: a correctness-only pass
+    # whose BENCH_phase2.json rides along in the artifact.
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    import bench_phase2_sample
+
+    rc = bench_phase2_sample.main(["--smoke"])
+    if rc != 0:
+        print("phase-2 sample benchmark smoke failed", file=sys.stderr)
+        return rc
+    shutil.copy(bench_phase2_sample.OUTPUT, out / "BENCH_phase2.json")
+
+    print(f"all {len(COMBINATIONS) + 1} metrics reports valid; "
           f"artifacts in {out}/")
     return 0
 

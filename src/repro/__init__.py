@@ -60,10 +60,12 @@ from .engine import (
     MatchEngine,
     ParallelEngine,
     ReferenceEngine,
+    ResidentSampleEvaluator,
     VectorizedBatchEngine,
     available_engines,
     get_engine,
     register_engine,
+    resident_from_env,
 )
 from .errors import (
     AlphabetError,
@@ -143,10 +145,12 @@ __all__ = [
     "MatchEngine",
     "ParallelEngine",
     "ReferenceEngine",
+    "ResidentSampleEvaluator",
     "VectorizedBatchEngine",
     "available_engines",
     "get_engine",
     "register_engine",
+    "resident_from_env",
     "AlphabetError",
     "CompatibilityMatrixError",
     "MiningError",

@@ -116,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
              "counts are identical across backends "
              "(default: $NOISYMINE_ENGINE, else 'reference')",
     )
+    mine.add_argument(
+        "--resident-sample",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="run Phase 2 (sample classification) with the resident "
+             "evaluator, which pins the sample once and extends candidate "
+             "score planes incrementally; results and scan counts are "
+             "identical, only Phase-2 wall-clock changes; applies to the "
+             "sampling algorithms (border-collapsing, toivonen) "
+             "(default: $NOISYMINE_RESIDENT, else off)",
+    )
     mine.add_argument("--seed", type=int, default=None)
     mine.add_argument(
         "--json", action="store_true",
@@ -215,7 +226,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             matrix, args.min_match, sample_size=sample_size,
             delta=args.delta, constraints=constraints,
             memory_capacity=args.memory_capacity, rng=rng, engine=engine,
-            tracer=tracer,
+            tracer=tracer, resident_sample=args.resident_sample,
         )
     elif args.algorithm == "levelwise":
         miner = LevelwiseMiner(
@@ -245,7 +256,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             matrix, args.min_match, sample_size=sample_size,
             delta=args.delta, constraints=constraints,
             memory_capacity=args.memory_capacity, rng=rng, engine=engine,
-            tracer=tracer,
+            tracer=tracer, resident_sample=args.resident_sample,
         )
     result = miner.mine(database)
     if args.metrics_json:

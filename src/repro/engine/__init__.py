@@ -9,11 +9,15 @@ three interchangeable backends —
 * :class:`~repro.engine.vectorized.VectorizedBatchEngine`
   (``"vectorized"``) — batched chunk kernels plus a factor-row cache;
 * :class:`~repro.engine.parallel.ParallelEngine` (``"parallel"``) —
-  sequence shards across a ``multiprocessing`` pool.
+  sequence shards across a ``multiprocessing`` pool;
+* :class:`~repro.engine.resident.ResidentSampleEvaluator`
+  (``"resident"``) — pins one memory-resident database (Phase 2's
+  sample) and evaluates candidates incrementally from their parents'
+  cached score planes.
 
-All three agree on every match value; they differ only in throughput
-profile.  See ``docs/API.md`` ("Execution engines") for selection
-guidance.
+All backends agree on every match value; they differ only in
+throughput profile.  See ``docs/API.md`` ("Execution engines") for
+selection guidance.
 """
 
 from __future__ import annotations
@@ -33,11 +37,18 @@ from .parallel import (
     resolve_worker_count,
 )
 from .reference import ReferenceEngine
+from .resident import (
+    PlaneStore,
+    RESIDENT_ENV_VAR,
+    ResidentSampleEvaluator,
+    resident_from_env,
+)
 from .vectorized import FactorCache, VectorizedBatchEngine
 
 register_engine("reference", ReferenceEngine)
 register_engine("vectorized", VectorizedBatchEngine)
 register_engine("parallel", ParallelEngine)
+register_engine("resident", ResidentSampleEvaluator)
 
 __all__ = [
     "DEFAULT_ENGINE_NAME",
@@ -46,11 +57,15 @@ __all__ = [
     "FactorCache",
     "MatchEngine",
     "ParallelEngine",
+    "PlaneStore",
+    "RESIDENT_ENV_VAR",
     "ReferenceEngine",
+    "ResidentSampleEvaluator",
     "VectorizedBatchEngine",
     "WORKERS_ENV_VAR",
     "available_engines",
     "get_engine",
     "register_engine",
+    "resident_from_env",
     "resolve_worker_count",
 ]

@@ -120,8 +120,15 @@ class MatchEngine(abc.ABC):
         self,
         database: AnySequenceDatabase,
         matrix: CompatibilityMatrix,
+        tracer: "Optional[Tracer]" = None,
     ) -> np.ndarray:
-        """Phase 1: the match of every 1-pattern, in one scan."""
+        """Phase 1: the match of every 1-pattern, in one scan.
+
+        *tracer* mirrors :meth:`database_matches`: backends with their
+        own caches record their traffic on it (the vectorized backend
+        reports factor-cache hits/misses), and passing ``None`` is
+        free.
+        """
         totals = np.zeros(matrix.size, dtype=np.float64)
         count = 0
         for _sid, seq in database.scan():

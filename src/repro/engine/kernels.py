@@ -288,6 +288,46 @@ def chunk_group_maxima(
     return scores.max(axis=1)
 
 
+def extend_plane(
+    parent_plane: np.ndarray,
+    gathered: np.ndarray,
+    symbol: int,
+    offset: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One incremental prefix-product step: parent plane × factor row.
+
+    *parent_plane* holds the left-associated window products of a
+    prefix pattern over one chunk — ``(parent windows, N)`` — and the
+    child appends *symbol* at *offset* (its last fixed position, i.e.
+    ``span - 1``), possibly across skipped wildcard positions.  The
+    child's plane is
+
+    ``child[w] = parent[w] * gathered[symbol, w + offset]``
+
+    for the ``length - offset`` windows the child still fits in.  The
+    multiply order is the same offset order the flat kernels use, and
+    skipping the wildcard positions is exact: their factor is ``1.0``
+    for in-bounds windows (an exact identity) and the windows that
+    overlap the padding are zeroed by the (always fixed) last position
+    either way — so every product stays bit-identical to
+    :func:`chunk_group_maxima` and the reference evaluation.
+
+    With *out*, the product is written into its leading rows and the
+    trimmed view is returned (the hot path reuses one arena buffer per
+    chunk); otherwise a fresh array is allocated (planes that are
+    cached must own their memory).
+    """
+    length = gathered.shape[1]
+    windows = max(length - offset, 0)
+    factors = gathered[symbol, offset : offset + windows, :]
+    if out is None:
+        return parent_plane[:windows] * factors
+    target = out[:windows]
+    np.multiply(parent_plane[:windows], factors, out=target)
+    return target
+
+
 def group_plans(
     elements_by_span: Dict[int, np.ndarray]
 ) -> Dict[int, List[PlanLevel]]:

@@ -275,7 +275,9 @@ class ParallelEngine(MatchEngine):
         self,
         database: AnySequenceDatabase,
         matrix: CompatibilityMatrix,
+        tracer: Optional[Tracer] = None,
     ) -> np.ndarray:
+        traced = tracer is not None and tracer.enabled
         c_ext = extended_matrix(matrix.array)
         _ids, rows = scan_rows(database)
         if not rows:
@@ -285,9 +287,13 @@ class ParallelEngine(MatchEngine):
         shards = self._shards(rows)
         if len(shards) == 1:
             self.inline_fallbacks += 1
+            if traced:
+                tracer.count(INLINE_FALLBACKS, 1)
             totals = rows_symbol_totals(rows, c_ext, self.chunk_rows)
         else:
             self.shards_dispatched += len(shards)
+            if traced:
+                tracer.count(SHARDS_DISPATCHED, len(shards))
             pool = self._ensure_pool(matrix, c_ext)
             parts = pool.map(
                 _worker_symbol_totals,

@@ -41,5 +41,6 @@ class ReferenceEngine(MatchEngine):
         self,
         database: AnySequenceDatabase,
         matrix: CompatibilityMatrix,
+        tracer: Optional[Tracer] = None,
     ) -> np.ndarray:
         return symbol_matches(database, matrix)

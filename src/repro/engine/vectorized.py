@@ -26,6 +26,7 @@ the paper's cost model; the cache removes recomputation, not passes).
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -59,18 +60,22 @@ from .kernels import (
 #: paper's protein workload (m=20, N=256, L=64).
 DEFAULT_CACHE_BYTES = 128 * 1024 * 1024
 
-_CacheKey = Tuple[tuple, Tuple[int, ...], int]
+_CacheKey = Tuple[tuple, Tuple[int, ...], bytes]
 
 
 class FactorCache:
     """LRU cache of per-chunk factor arrays with a byte budget.
 
     Keys are ``(matrix fingerprint, padded shape, padded content
-    hash)`` — both components are content-based, so two equal matrices
-    share entries and neither a different matrix nor a different chunk
-    of sequences can ever serve stale factors.  Hashing the padded
-    ``(N, L)`` int chunk costs ``O(N L)``, negligible next to the
-    ``O(m N L)`` gather it saves.
+    digest)`` — both components are content-based, so two equal
+    matrices share entries and neither a different matrix nor a
+    different chunk of sequences can ever serve stale factors.  The
+    digest is ``blake2b`` over the padded chunk's bytes: Python's
+    salted 64-bit ``hash`` admits (however unlikely) collisions that
+    would silently serve the factor array of a *different* chunk,
+    whereas a 128-bit cryptographic digest makes that impossible in
+    practice.  Digesting the ``(N, L)`` int chunk costs ``O(N L)``,
+    negligible next to the ``O(m N L)`` gather it saves.
     """
 
     def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
@@ -256,7 +261,8 @@ class VectorizedBatchEngine(MatchEngine):
         fingerprint: tuple,
     ) -> np.ndarray:
         padded = pad_chunk(rows, m)
-        key: _CacheKey = (fingerprint, padded.shape, hash(padded.tobytes()))
+        digest = hashlib.blake2b(padded.tobytes(), digest_size=16).digest()
+        key: _CacheKey = (fingerprint, padded.shape, digest)
         gathered = self.cache.get(key)
         if gathered is None:
             gathered = gather_chunk(c_ext, padded)
@@ -267,7 +273,16 @@ class VectorizedBatchEngine(MatchEngine):
         self,
         database: AnySequenceDatabase,
         matrix: CompatibilityMatrix,
+        tracer: Optional[Tracer] = None,
     ) -> np.ndarray:
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            # Same one-shot delta recording as database_matches, so the
+            # Phase-1 scan's factor-cache traffic shows up in RunReport
+            # alongside the batch-counting traffic.
+            hits0 = self.cache.hits
+            misses0 = self.cache.misses
+            evictions0 = self.cache.evictions
         m = matrix.size
         c_ext = extended_matrix(matrix.array)
         fingerprint = matrix_fingerprint(matrix)
@@ -287,6 +302,12 @@ class VectorizedBatchEngine(MatchEngine):
         if count == 0:
             raise MiningError(
                 "cannot compute symbol matches over an empty database"
+            )
+        if traced:
+            tracer.count(FACTOR_CACHE_HITS, self.cache.hits - hits0)
+            tracer.count(FACTOR_CACHE_MISSES, self.cache.misses - misses0)
+            tracer.count(
+                FACTOR_CACHE_EVICTIONS, self.cache.evictions - evictions0
             )
         return totals / count
 

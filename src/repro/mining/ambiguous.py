@@ -40,7 +40,11 @@ from .chernoff import (
     classify_value,
     restricted_spread,
 )
-from ..engine import EngineSpec
+from ..engine import (
+    EngineSpec,
+    ResidentSampleEvaluator,
+    resident_from_env,
+)
 from ..obs import (
     CANDIDATES_GENERATED,
     SAMPLE_PATTERNS_COUNTED,
@@ -63,6 +67,7 @@ def classify_on_sample(
     exact: bool = False,
     engine: "EngineSpec" = None,
     tracer: Optional[Tracer] = None,
+    resident: Optional[bool] = None,
 ) -> SampleClassification:
     """Run the Phase-2 breadth-first classification.
 
@@ -89,9 +94,25 @@ def classify_on_sample(
         Optional :class:`repro.obs.Tracer`; records candidate counts
         and in-memory sample scans (under the ``sample_scans`` counter,
         kept apart from full-database ``scans``).
+    resident:
+        Count the BFS levels with a
+        :class:`~repro.engine.resident.ResidentSampleEvaluator` that
+        pins the sample once and extends each candidate's score plane
+        incrementally from its parent's — the sample is fixed for the
+        whole phase, which is exactly the evaluator's sweet spot.
+        ``None`` defers to the ``NOISYMINE_RESIDENT`` environment
+        variable (default off).  Results and scan accounting are
+        identical either way; only Phase-2 wall-clock changes.
     """
     constraints = constraints or PatternConstraints()
     tracer = ensure_tracer(tracer)
+    if resident is None:
+        resident = resident_from_env()
+    if resident:
+        # A fresh evaluator per run: the pin is built on the first
+        # level's scan and reused by every later level; the plane store
+        # dies with the phase.
+        engine = ResidentSampleEvaluator()
     if not 0.0 < min_match <= 1.0:
         raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
     n = len(sample)
@@ -145,6 +166,20 @@ def classify_on_sample(
         else:
             labels[pattern] = INFREQUENT
 
+    # Memoized Chernoff half-widths: *delta* and *n* are fixed for the
+    # whole run and the distinct restricted spreads per level number in
+    # the handful (one per minimum symbol match), so the per-candidate
+    # sqrt+log collapses to a dict lookup.
+    epsilon_cache: Dict[float, float] = {}
+
+    def banded_epsilon(spread: float) -> float:
+        epsilon = epsilon_cache.get(spread)
+        if epsilon is None:
+            epsilon = epsilon_cache[spread] = chernoff_epsilon(
+                spread, delta, n
+            )
+        return epsilon
+
     level = 1
     while survivors and level < constraints.max_weight:
         candidates = generate_candidates(
@@ -190,7 +225,7 @@ def classify_on_sample(
                     if use_restricted_spread
                     else 1.0
                 )
-                epsilon = chernoff_epsilon(spread, delta, n)
+                epsilon = banded_epsilon(spread)
                 label = classify_value(value, min_match, epsilon)
             labels[pattern] = label
             sample_matches[pattern] = value

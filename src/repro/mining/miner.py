@@ -73,6 +73,14 @@ class BorderCollapsingMiner:
         and counters; when given, :meth:`mine` attaches a
         :class:`repro.obs.RunReport` to the result.  A tracer records
         one run — create a fresh one per ``mine()`` call.
+    resident_sample:
+        Run Phase 2 with the
+        :class:`~repro.engine.resident.ResidentSampleEvaluator`, which
+        pins the sample once and extends candidate score planes
+        incrementally instead of recomputing them per level.  Results,
+        scan counts and Phase-3 behaviour are identical; only Phase-2
+        wall-clock changes.  ``None`` defers to the
+        ``NOISYMINE_RESIDENT`` environment variable (default off).
     """
 
     algorithm = "border-collapsing"
@@ -89,6 +97,7 @@ class BorderCollapsingMiner:
         rng: Optional[np.random.Generator] = None,
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
+        resident_sample: Optional[bool] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -107,6 +116,7 @@ class BorderCollapsingMiner:
         self.rng = rng or np.random.default_rng()
         self.engine = get_engine(engine)
         self.tracer = ensure_tracer(tracer)
+        self.resident_sample = resident_sample
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         """Run all three phases and return the discovered patterns.
@@ -145,6 +155,7 @@ class BorderCollapsingMiner:
                 exact=sample_size >= len(database),
                 engine=self.engine,
                 tracer=tracer,
+                resident=self.resident_sample,
             )
 
         # Phase 3 — border collapsing over the ambiguous band.

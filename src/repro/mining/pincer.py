@@ -73,7 +73,7 @@ class PincerMiner:
 
         with tracer.phase("phase1-scan"):
             symbol_match = self.engine.symbol_matches(
-                database, self.matrix
+                database, self.matrix, tracer=tracer
             )  # one scan
             tracer.count(SCANS, 1)
         frequent_symbols = [

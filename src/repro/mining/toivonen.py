@@ -51,6 +51,7 @@ class ToivonenMiner:
         rng: Optional[np.random.Generator] = None,
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
+        resident_sample: Optional[bool] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -64,6 +65,9 @@ class ToivonenMiner:
         self.rng = rng or np.random.default_rng()
         self.engine = get_engine(engine)
         self.tracer = ensure_tracer(tracer)
+        # Phase 2 option only: level-wise verification still runs on
+        # self.engine (the full database is not pinned).
+        self.resident_sample = resident_sample
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
@@ -92,6 +96,7 @@ class ToivonenMiner:
                 self.constraints,
                 engine=self.engine,
                 tracer=tracer,
+                resident=self.resident_sample,
             )
         to_verify: Dict[int, List[Pattern]] = {}
         for pattern, label in classification.labels.items():

@@ -28,6 +28,9 @@ from .tracer import (
     PATTERNS_COUNTED,
     PROBE_ROUNDS,
     PROBES,
+    RESIDENT_PLANE_BYTES,
+    RESIDENT_PLANE_HITS,
+    RESIDENT_PLANE_MISSES,
     SAMPLE_PATTERNS_COUNTED,
     SAMPLE_SCANS,
     SCANS,
@@ -50,6 +53,9 @@ __all__ = [
     "PROBE_ROUNDS",
     "PROBES",
     "PhaseReport",
+    "RESIDENT_PLANE_BYTES",
+    "RESIDENT_PLANE_HITS",
+    "RESIDENT_PLANE_MISSES",
     "RunReport",
     "SAMPLE_PATTERNS_COUNTED",
     "SAMPLE_SCANS",

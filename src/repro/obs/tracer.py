@@ -52,6 +52,9 @@ FACTOR_CACHE_MISSES = "factor_cache_misses"
 FACTOR_CACHE_EVICTIONS = "factor_cache_evictions"
 SHARDS_DISPATCHED = "shards_dispatched"
 INLINE_FALLBACKS = "inline_fallbacks"
+RESIDENT_PLANE_HITS = "resident_plane_hits"
+RESIDENT_PLANE_MISSES = "resident_plane_misses"
+RESIDENT_PLANE_BYTES = "resident_plane_bytes"
 
 
 class Span:

@@ -274,6 +274,25 @@ class TestFactorCache:
         )
         assert got[batch[0]] == pytest.approx(expected[batch[0]], abs=1e-12)
 
+    def test_distinct_same_shape_chunks_never_share_an_entry(
+        self, fig2_matrix
+    ):
+        # Same (N, L) padded shape, one symbol different: the content
+        # digest in the key must keep the two chunks apart — a collision
+        # would silently serve the factor array of the *other* chunk.
+        engine = VectorizedBatchEngine(chunk_rows=2)
+        db_a = SequenceDatabase([[0, 1, 2], [3, 4, 0]])
+        db_b = SequenceDatabase([[0, 1, 2], [3, 4, 1]])
+        batch = [Pattern([0, 1])]
+        engine.database_matches(batch, db_a, fig2_matrix)
+        engine.database_matches(batch, db_b, fig2_matrix)
+        assert len(engine.cache) == 2
+        assert engine.cache.hits == 0
+        got = engine.database_matches(batch, db_b, fig2_matrix)
+        assert engine.cache.hits == 1  # the repeat is a genuine hit
+        expected = core_match.database_matches(batch, db_b, fig2_matrix)
+        assert got[batch[0]] == pytest.approx(expected[batch[0]], abs=1e-12)
+
     def test_byte_budget_evicts_lru(self):
         cache = FactorCache(max_bytes=2048)
         a = np.zeros(128, dtype=np.float64)  # 1024 bytes each

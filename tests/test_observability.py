@@ -112,7 +112,9 @@ ALGORITHMS = [
 
 
 class TestPhaseScanInvariant:
-    @pytest.mark.parametrize("engine", ["reference", "vectorized", "parallel"])
+    @pytest.mark.parametrize(
+        "engine", ["reference", "vectorized", "parallel", "resident"]
+    )
     @pytest.mark.parametrize("algorithm", ALGORITHMS)
     def test_phase_scans_sum_to_scan_count(
         self, small_db, noise_matrix, algorithm, engine
@@ -141,6 +143,33 @@ class TestPhaseScanInvariant:
         )
         result = miner.mine(small_db)
         assert result.report is None
+
+    @pytest.mark.parametrize("algorithm", ["border-collapsing", "toivonen"])
+    def test_resident_sample_keeps_scan_accounting(
+        self, small_db, noise_matrix, algorithm
+    ):
+        # --resident-sample changes Phase-2 wall-clock only: the scan
+        # and sample-scan counters (and every result value) must be
+        # identical with and without it.
+        results = {}
+        for resident in (False, True):
+            tracer = Tracer()
+            miner = make_miner(algorithm, noise_matrix, "reference", tracer)
+            miner.resident_sample = resident
+            before = small_db.scan_count
+            result = miner.mine(small_db)
+            consumed = small_db.scan_count - before
+            assert result.scans == consumed
+            assert sum(p.scans for p in result.report.phases) == consumed
+            results[resident] = result
+        base, res = results[False], results[True]
+        assert base.scans == res.scans
+        assert base.report.total(SCANS) == res.report.total(SCANS)
+        assert base.report.total("sample_scans") \
+            == res.report.total("sample_scans")
+        assert set(base.frequent) == set(res.frequent)
+        for pattern, value in base.frequent.items():
+            assert res.frequent[pattern] == pytest.approx(value, abs=1e-12)
 
 
 # -- tracer --------------------------------------------------------------------
