@@ -10,7 +10,8 @@ the standalone file.  One combination additionally runs with
 ``--resident-sample`` and checks the resident plane-store counters
 reach the report.  Finally the Phase-2 sample benchmark runs in
 ``--smoke`` mode (correctness gate only, no timing assertions) and its
-``BENCH_phase2.json`` is copied next to the metrics files.  Everything
+``BENCH_phase2.json`` is copied next to the metrics files, followed by
+the scan I/O benchmark (``BENCH_io.json``) in the same mode.  Everything
 is left in the output directory so the CI workflow can upload it as an
 artifact.
 
@@ -155,6 +156,17 @@ def main(argv=None) -> int:
         print("phase-2 sample benchmark smoke failed", file=sys.stderr)
         return rc
     shutil.copy(bench_phase2_sample.OUTPUT, out / "BENCH_phase2.json")
+
+    # Scan I/O benchmark, smoke mode: verifies the text and packed
+    # storage backends reproduce the in-memory scan results bit for
+    # bit (no throughput gates) and ships BENCH_io.json alongside.
+    import bench_scan_io
+
+    rc = bench_scan_io.main(["--smoke"])
+    if rc != 0:
+        print("scan I/O benchmark smoke failed", file=sys.stderr)
+        return rc
+    shutil.copy(bench_scan_io.OUTPUT, out / "BENCH_io.json")
 
     print(f"all {len(COMBINATIONS) + 1} metrics reports valid; "
           f"artifacts in {out}/")

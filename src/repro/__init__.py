@@ -23,6 +23,7 @@ reproduction of every figure of the paper's evaluation.
 
 from .core import (
     AMINO_ACIDS,
+    DEFAULT_SCAN_CHUNK_ROWS,
     calibrated_min_match,
     clean_occurrence_match,
     Alphabet,
@@ -31,12 +32,14 @@ from .core import (
     FileSequenceDatabase,
     Pattern,
     PatternConstraints,
+    SequenceChunk,
     SequenceDatabase,
     SparseMatchEngine,
     WILDCARD,
     compatibility_from_channel,
     database_match,
     database_matches,
+    iter_chunks,
     segment_match,
     sequence_match,
     symbol_matches,
@@ -75,6 +78,10 @@ from .errors import (
     PatternError,
     SamplingError,
     SequenceDatabaseError,
+)
+from .io import (
+    PackedSequenceStore,
+    is_packed_store,
 )
 from .eval import (
     ExperimentTable,
@@ -115,9 +122,12 @@ __all__ = [
     "Alphabet",
     "Border",
     "CompatibilityMatrix",
+    "DEFAULT_SCAN_CHUNK_ROWS",
     "FileSequenceDatabase",
+    "PackedSequenceStore",
     "Pattern",
     "PatternConstraints",
+    "SequenceChunk",
     "SequenceDatabase",
     "SparseMatchEngine",
     "WILDCARD",
@@ -126,6 +136,8 @@ __all__ = [
     "clean_occurrence_match",
     "database_match",
     "database_matches",
+    "is_packed_store",
+    "iter_chunks",
     "segment_match",
     "sequence_match",
     "symbol_matches",

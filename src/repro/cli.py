@@ -8,14 +8,22 @@ Three subcommands cover the full workflow on text sequence files
   motifs and optionally a noisy test database next to it;
 * ``noisymine mine`` — run one of the six miners over a sequence file
   and print the frequent patterns;
+* ``noisymine convert`` — translate between the text format and the
+  packed binary store (``.nmp``), which memory-maps on open and scans
+  an order of magnitude faster;
 * ``noisymine evaluate`` — compare two mining runs (e.g. match model on
   noisy data vs support model on clean data) by accuracy/completeness.
+
+``noisymine mine`` accepts either representation: ``--store auto`` (the
+default) sniffs the packed magic bytes, so a converted store is a
+drop-in replacement for the text file it came from.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -31,6 +39,7 @@ from .datagen.noise import corrupt_uniform
 from .datagen.synthetic import generate_database
 from .errors import NoisyMineError
 from .eval.metrics import quality
+from .io import PackedSequenceStore, is_packed_store
 from .mining.depthfirst import DepthFirstMiner
 from .mining.levelwise import LevelwiseMiner
 from .mining.maxminer import MaxMiner
@@ -86,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--alphabet", type=int, default=None,
                       help="number of distinct symbols m "
                            "(required for text format)")
+    mine.add_argument(
+        "--store",
+        choices=["auto", "text", "packed"],
+        default=None,
+        help="on-disk representation of the input: 'text' streams and "
+             "re-parses the text format every scan, 'packed' memory-maps "
+             "a packed binary store (written by 'noisymine convert'), "
+             "'auto' sniffs the packed magic bytes; results are "
+             "identical either way "
+             "(default: $NOISYMINE_STORE, else 'auto')",
+    )
     mine.add_argument("--min-match", type=float, required=True)
     mine.add_argument(
         "--algorithm",
@@ -139,6 +159,22 @@ def build_parser() -> argparse.ArgumentParser:
              "scan/cache/shard counters) to PATH as JSON",
     )
 
+    conv = sub.add_parser(
+        "convert",
+        help="translate a sequence database between the text format and "
+             "the packed binary store",
+    )
+    conv.add_argument("input", help="sequence file to convert "
+                                    "(text or packed, sniffed)")
+    conv.add_argument("output", help="path for the converted database")
+    conv.add_argument(
+        "--to",
+        choices=["packed", "text"],
+        default="packed",
+        dest="target",
+        help="output representation (default: packed)",
+    )
+
     ev = sub.add_parser(
         "evaluate",
         help="accuracy/completeness of one pattern list vs a reference",
@@ -156,6 +192,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "mine":
             return _cmd_mine(args)
+        if args.command == "convert":
+            return _cmd_convert(args)
         if args.command == "evaluate":
             return _cmd_evaluate(args)
     except (NoisyMineError, OSError) as exc:
@@ -190,8 +228,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_store(args: argparse.Namespace) -> str:
+    """The effective --store choice: flag, else $NOISYMINE_STORE, else auto."""
+    store = args.store
+    if store is None:
+        store = os.environ.get("NOISYMINE_STORE", "").strip() or "auto"
+    if store not in ("auto", "text", "packed"):
+        raise NoisyMineError(
+            f"invalid NOISYMINE_STORE value {store!r}: "
+            "expected 'auto', 'text' or 'packed'"
+        )
+    return store
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
+    store = _resolve_store(args)
     if args.format == "fasta":
+        if store == "packed" or (store == "auto"
+                                 and is_packed_store(args.input)):
+            raise NoisyMineError(
+                "--format fasta cannot be combined with a packed store; "
+                "convert the FASTA file to text first, then to packed"
+            )
         from .datagen.fasta import read_fasta
 
         database, _headers = read_fasta(args.input)
@@ -201,7 +259,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             raise NoisyMineError(
                 "--alphabet is required for the text input format"
             )
-        database = FileSequenceDatabase(args.input)
+        if store == "auto":
+            store = "packed" if is_packed_store(args.input) else "text"
+        if store == "packed":
+            database = PackedSequenceStore.open(args.input)
+        else:
+            database = FileSequenceDatabase(args.input)
         alphabet_size = args.alphabet
     if args.noise > 0:
         matrix = CompatibilityMatrix.uniform_noise(alphabet_size, args.noise)
@@ -285,6 +348,35 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                   f"match={result.frequent[pattern]:.4f}")
         if args.metrics_json:
             print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    if is_packed_store(args.input):
+        source = PackedSequenceStore.open(args.input)
+        n = len(source)
+        if args.target == "text":
+            source.save_text(args.output)
+            print(f"wrote {n} sequences to {args.output} (text)")
+            return 0
+        # packed -> packed is a verified re-save (detects bit rot).
+        source.verify()
+        store = PackedSequenceStore.from_database(source, args.output)
+    else:
+        source = FileSequenceDatabase(args.input)
+        n = len(source)
+        if args.target == "text":
+            # text -> text round-trips through the parser, which
+            # normalises whitespace and validates every row.
+            store = PackedSequenceStore.from_database(source)
+            store.save_text(args.output)
+            print(f"wrote {n} sequences to {args.output} (text)")
+            return 0
+        store = PackedSequenceStore.from_database(source, args.output)
+    print(
+        f"wrote {len(store)} sequences ({store.total_symbols()} symbols) "
+        f"to {args.output} (packed, digest {store.digest[:12]})"
+    )
     return 0
 
 

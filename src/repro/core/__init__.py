@@ -32,9 +32,12 @@ from .match import (
 from .pattern import Pattern, WILDCARD
 from .sparse import SparseMatchEngine
 from .sequence import (
+    DEFAULT_SCAN_CHUNK_ROWS,
     FileSequenceDatabase,
+    SequenceChunk,
     SequenceDatabase,
     as_sequence_array,
+    iter_chunks,
 )
 
 __all__ = [
@@ -68,7 +71,10 @@ __all__ = [
     "Pattern",
     "WILDCARD",
     "SparseMatchEngine",
+    "DEFAULT_SCAN_CHUNK_ROWS",
     "FileSequenceDatabase",
+    "SequenceChunk",
     "SequenceDatabase",
     "as_sequence_array",
+    "iter_chunks",
 ]

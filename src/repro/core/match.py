@@ -28,7 +28,12 @@ import numpy as np
 from ..errors import MiningError
 from .compatibility import CompatibilityMatrix
 from .pattern import Pattern, WILDCARD
-from .sequence import AnySequenceDatabase, SequenceLike, as_sequence_array
+from .sequence import (
+    AnySequenceDatabase,
+    SequenceLike,
+    as_sequence_array,
+    iter_chunks,
+)
 
 
 def segment_match(
@@ -175,23 +180,24 @@ def database_matches(
 
     totals = np.zeros(len(patterns), dtype=np.float64)
     count = 0
-    for _sid, seq in database.scan():
-        count += 1
-        gathered = c_ext[:, seq]  # (m + 1, |S|)
-        length = len(seq)
-        for span, indices in groups.items():
-            windows = length - span + 1
-            if windows <= 0:
-                continue
-            elements = group_elements[span]  # (k, span)
-            scores = gathered[elements[:, 0], 0:windows]
-            if span > 1:
-                scores = scores.copy()
-                for offset in range(1, span):
-                    scores *= gathered[
-                        elements[:, offset], offset : offset + windows
-                    ]
-            totals[indices] += scores.max(axis=1)
+    for chunk in iter_chunks(database):
+        for seq in chunk.rows:
+            count += 1
+            gathered = c_ext[:, seq]  # (m + 1, |S|)
+            length = len(seq)
+            for span, indices in groups.items():
+                windows = length - span + 1
+                if windows <= 0:
+                    continue
+                elements = group_elements[span]  # (k, span)
+                scores = gathered[elements[:, 0], 0:windows]
+                if span > 1:
+                    scores = scores.copy()
+                    for offset in range(1, span):
+                        scores *= gathered[
+                            elements[:, offset], offset : offset + windows
+                        ]
+                totals[indices] += scores.max(axis=1)
     if count == 0:
         raise MiningError("cannot compute matches over an empty database")
     return {p: float(t / count) for p, t in zip(patterns, totals)}
@@ -282,7 +288,19 @@ def symbol_matches_and_sample(
     matches **and** drawing a uniform random sample.
 
     The paper stresses that sampling is a free by-product of the Phase-1
-    scan; this helper preserves that property (a single ``scan()``).
+    scan; this helper preserves that property (a single chunked
+    ``scan_chunks()`` pass, streamed through :func:`iter_chunks` so any
+    backend — in-memory, text file or packed store — is consumed the
+    same way).
+
+    The per-symbol maxima of each chunk are computed with the batched
+    gather kernel and are bit-identical to
+    :func:`symbol_sequence_matches` row by row (the padded gather adds
+    only duplicate columns and zero-valued pad columns, neither of
+    which can change an exact maximum over non-negative entries), and
+    the totals are accumulated per row in scan order — so both the
+    match vector and the reservoir sample (one RNG draw per row, in
+    scan order) are bit-for-bit what the unchunked pass produced.
 
     ``sample_size >= len(database)`` is clamped to the database size:
     the sample is the whole database, selected deterministically in
@@ -290,6 +308,13 @@ def symbol_matches_and_sample(
     is rejected.
     """
     from .sequence import SequenceDatabase  # local import to avoid a cycle
+    # Kernel imports are call-time: engine.base imports this module.
+    from ..engine.kernels import (
+        chunk_symbol_maxima,
+        extended_matrix,
+        gather_chunk,
+        pad_chunk,
+    )
 
     total = len(database)
     if sample_size < 1:
@@ -299,16 +324,23 @@ def symbol_matches_and_sample(
     sample_size = min(sample_size, total)
     select_all = sample_size == total
     rng = rng or np.random.default_rng()
-    totals = np.zeros(matrix.size, dtype=np.float64)
+    m = matrix.size
+    c_ext = extended_matrix(matrix.array)
+    totals = np.zeros(m, dtype=np.float64)
     chosen_ids: List[int] = []
     chosen_rows: List[np.ndarray] = []
-    for seen, (sid, seq) in enumerate(database.scan()):
-        totals += symbol_sequence_matches(seq, matrix)
-        needed = sample_size - len(chosen_rows)
-        if needed > 0 and (
-            select_all or rng.random() < needed / (total - seen)
-        ):
-            chosen_ids.append(sid)
-            chosen_rows.append(np.array(seq, copy=True))
+    seen = 0
+    for chunk in iter_chunks(database):
+        gathered = gather_chunk(c_ext, pad_chunk(chunk.rows, m))
+        maxima = chunk_symbol_maxima(gathered)
+        for offset, (sid, seq) in enumerate(zip(chunk.ids, chunk.rows)):
+            totals += maxima[:, offset]
+            needed = sample_size - len(chosen_rows)
+            if needed > 0 and (
+                select_all or rng.random() < needed / (total - seen)
+            ):
+                chosen_ids.append(sid)
+                chosen_rows.append(np.array(seq, copy=True))
+            seen += 1
     sample = SequenceDatabase(chosen_rows, ids=chosen_ids)
     return totals / total, sample

@@ -1,7 +1,7 @@
 """Sequence databases with scan accounting.
 
 The paper's cost model is *number of passes over a disk-resident
-sequence database*.  Both database implementations here expose the same
+sequence database*.  All database implementations here expose the same
 interface and count every full pass through :meth:`SequenceDatabase.scan`,
 so mining algorithms can be compared on the paper's own metric
 (Figure 14(b), Figure 15(a)) without real disks.
@@ -12,6 +12,17 @@ so mining algorithms can be compared on the paper's own metric
   a text file and re-reads the file on every scan — a faithful
   simulation of disk residency where only O(1) sequences are in memory
   at a time.
+* :class:`repro.io.PackedSequenceStore` (in :mod:`repro.io`) keeps the
+  symbols in one contiguous memory-mapped ``int32`` buffer and delivers
+  zero-copy row views — the disk-resident backend whose scan layer is
+  fast enough that match arithmetic, not decoding, dominates a pass.
+
+Scans come in two granularities.  :meth:`~SequenceDatabase.scan` yields
+one ``(id, sequence)`` pair at a time; :meth:`~SequenceDatabase.scan_chunks`
+yields :class:`SequenceChunk` blocks of up to ``chunk_rows`` rows so
+vectorized consumers can amortise per-row overhead.  Both count exactly
+one pass when first iterated, and :func:`iter_chunks` adapts any backend
+to the chunked form.
 
 Sampling follows Algorithm 4.1 (lines 12-16): a single sequential pass
 selects each sequence ``i`` with probability ``(n - j) / (N - i)`` given
@@ -23,6 +34,7 @@ cites from Vitter.
 from __future__ import annotations
 
 import os
+from time import perf_counter
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -32,13 +44,83 @@ from .alphabet import Alphabet
 
 SequenceLike = Union[Sequence[int], np.ndarray]
 
+#: Default number of rows per block yielded by ``scan_chunks``.  Matches
+#: the vectorized engine's default chunk size so the two layers tile the
+#: database identically.
+DEFAULT_SCAN_CHUNK_ROWS = 256
+
+
+class SequenceChunk:
+    """One block of rows from a chunked database scan.
+
+    ``rows`` are numpy ``int32`` arrays — zero-copy views into the
+    backing buffer when the backend supports it (the packed store) and
+    freshly parsed arrays otherwise.  ``ids`` aligns with ``rows``.
+    """
+
+    __slots__ = ("ids", "rows")
+
+    def __init__(self, ids: Sequence[int], rows: Sequence[np.ndarray]):
+        self.ids = ids
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes delivered by this chunk (symbol data only)."""
+        return int(sum(row.nbytes for row in self.rows))
+
+    def __repr__(self) -> str:
+        return f"SequenceChunk(rows={len(self.rows)}, nbytes={self.nbytes})"
+
+
+def iter_chunks(
+    database,
+    chunk_rows: int = DEFAULT_SCAN_CHUNK_ROWS,
+) -> Iterator[SequenceChunk]:
+    """Stream *database* as :class:`SequenceChunk` blocks; one pass.
+
+    Dispatches to the backend's native :meth:`scan_chunks` when present
+    (all shipped backends have one); otherwise buffers the per-row
+    :meth:`scan` stream into blocks.  Either way exactly one scan is
+    counted, and concatenating ``chunk.rows`` across chunks reproduces
+    the ``scan()`` row stream in order.
+    """
+    native = getattr(database, "scan_chunks", None)
+    if native is not None:
+        return native(chunk_rows)
+    return _buffered_chunks(database, chunk_rows)
+
+
+def _buffered_chunks(database, chunk_rows: int) -> Iterator[SequenceChunk]:
+    _check_chunk_rows(chunk_rows)
+    ids: List[int] = []
+    rows: List[np.ndarray] = []
+    for sid, seq in database.scan():
+        ids.append(sid)
+        rows.append(seq)
+        if len(rows) >= chunk_rows:
+            yield SequenceChunk(ids, rows)
+            ids, rows = [], []
+    if rows:
+        yield SequenceChunk(ids, rows)
+
+
+def _check_chunk_rows(chunk_rows: int) -> None:
+    if chunk_rows < 1:
+        raise SequenceDatabaseError(
+            f"chunk_rows must be >= 1, got {chunk_rows}"
+        )
+
 
 def _sampling_rng(
     rng: Optional[np.random.Generator], seed: Optional[int]
 ) -> np.random.Generator:
     """Resolve the sampling RNG from an explicit generator or a seed.
 
-    Both database backends route through this helper so that the same
+    All database backends route through this helper so that the same
     ``seed`` draws the same random stream — and therefore, given equal
     scan order, selects the same sequence ids — regardless of backend.
     """
@@ -103,6 +185,10 @@ class SequenceDatabase:
             if len(set(self._ids)) != len(self._ids):
                 raise SequenceDatabaseError("sequence ids must be unique")
         self._scan_count = 0
+        # Catalog metadata, computed once: recomputing total_symbols /
+        # max_symbol per call was O(N) and showed up in tight loops.
+        self._total_symbols = int(sum(len(s) for s in self._sequences))
+        self._max_symbol = int(max(int(s.max()) for s in self._sequences))
 
     # -- construction ---------------------------------------------------------
 
@@ -136,6 +222,22 @@ class SequenceDatabase:
         for sid, seq in zip(self._ids, self._sequences):
             yield sid, seq
 
+    def scan_chunks(
+        self, chunk_rows: int = DEFAULT_SCAN_CHUNK_ROWS
+    ) -> Iterator[SequenceChunk]:
+        """Yield :class:`SequenceChunk` blocks of rows; counts as one pass.
+
+        The concatenation of ``chunk.rows`` across all chunks equals the
+        :meth:`scan` row stream, in order.
+        """
+        _check_chunk_rows(chunk_rows)
+        self._scan_count += 1
+        for start in range(0, len(self._sequences), chunk_rows):
+            stop = start + chunk_rows
+            yield SequenceChunk(
+                self._ids[start:stop], self._sequences[start:stop]
+            )
+
     # -- metadata -------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -157,15 +259,15 @@ class SequenceDatabase:
 
     def total_symbols(self) -> int:
         """Total number of symbol occurrences across all sequences."""
-        return int(sum(len(s) for s in self._sequences))
+        return self._total_symbols
 
     def average_length(self) -> float:
         """The paper's ``l̄_S``: mean sequence length."""
-        return self.total_symbols() / len(self)
+        return self._total_symbols / len(self)
 
     def max_symbol(self) -> int:
         """Largest symbol index present (useful to size matrices)."""
-        return int(max(int(s.max()) for s in self._sequences))
+        return self._max_symbol
 
     # -- sampling -----------------------------------------------------------
 
@@ -259,6 +361,11 @@ class FileSequenceDatabase:
     ``<id> TAB <space-separated symbol indices>``.  Every :meth:`scan`
     re-reads the file from the start; only the current sequence is held
     in memory, simulating the paper's disk-resident assumption.
+
+    The lifetime attributes :attr:`io_bytes_read`, :attr:`io_chunks` and
+    :attr:`io_chunk_seconds` account for payload bytes decoded, chunks
+    delivered and time spent inside the scan layer (excluding consumer
+    time); the obs layer snapshots them into per-run reports.
     """
 
     def __init__(self, path: Union[str, os.PathLike]):
@@ -266,11 +373,26 @@ class FileSequenceDatabase:
         if not os.path.exists(self._path):
             raise SequenceDatabaseError(f"no such sequence file: {self._path}")
         self._scan_count = 0
+        self.io_bytes_read = 0
+        self.io_chunks = 0
+        self.io_chunk_seconds = 0.0
         # One up-front pass (not counted) to learn N and validate format,
-        # mirroring how a real system would hold catalog metadata.
-        self._length = sum(1 for _ in _read_sequence_file(self._path))
+        # mirroring how a real system would hold catalog metadata.  The
+        # same pass caches total/max symbol so metadata stays O(1).
+        length = 0
+        total = 0
+        max_symbol = -1
+        for _sid, seq in _read_sequence_file(self._path):
+            length += 1
+            total += seq.size
+            top = int(seq.max())
+            if top > max_symbol:
+                max_symbol = top
+        self._length = length
         if self._length == 0:
             raise SequenceDatabaseError(f"{self._path} contains no sequences")
+        self._total_symbols = total
+        self._max_symbol = max_symbol
 
     @property
     def path(self) -> str:
@@ -286,10 +408,56 @@ class FileSequenceDatabase:
     def __len__(self) -> int:
         return self._length
 
+    def total_symbols(self) -> int:
+        """Total number of symbol occurrences (cached at construction)."""
+        return self._total_symbols
+
+    def average_length(self) -> float:
+        """The paper's ``l̄_S``: mean sequence length."""
+        return self._total_symbols / self._length
+
+    def max_symbol(self) -> int:
+        """Largest symbol index present (cached at construction)."""
+        return self._max_symbol
+
     def scan(self) -> Iterator[Tuple[int, np.ndarray]]:
         """Stream ``(sequence_id, sequence)`` pairs from disk; one pass."""
         self._scan_count += 1
-        yield from _read_sequence_file(self._path)
+        for sid, seq in _read_sequence_file(self._path):
+            self.io_bytes_read += seq.nbytes
+            yield sid, seq
+
+    def scan_chunks(
+        self, chunk_rows: int = DEFAULT_SCAN_CHUNK_ROWS
+    ) -> Iterator[SequenceChunk]:
+        """Stream :class:`SequenceChunk` blocks from disk; one pass.
+
+        Rows are parsed into fresh arrays and buffered ``chunk_rows`` at
+        a time; time spent while the consumer holds a yielded chunk is
+        *not* charged to :attr:`io_chunk_seconds`.
+        """
+        _check_chunk_rows(chunk_rows)
+        self._scan_count += 1
+        started = perf_counter()
+        ids: List[int] = []
+        rows: List[np.ndarray] = []
+        for sid, seq in _read_sequence_file(self._path):
+            ids.append(sid)
+            rows.append(seq)
+            if len(rows) >= chunk_rows:
+                chunk = SequenceChunk(ids, rows)
+                self.io_chunks += 1
+                self.io_bytes_read += chunk.nbytes
+                self.io_chunk_seconds += perf_counter() - started
+                yield chunk
+                ids, rows = [], []
+                started = perf_counter()
+        if rows:
+            chunk = SequenceChunk(ids, rows)
+            self.io_chunks += 1
+            self.io_bytes_read += chunk.nbytes
+            self.io_chunk_seconds += perf_counter() - started
+            yield chunk
 
     def sample(
         self,
@@ -344,6 +512,11 @@ class FileSequenceDatabase:
         )
 
 
+#: Any object honouring the scan contract: ``__len__``, ``scan()``,
+#: ``scan_chunks()``, ``scan_count``/``reset_scan_count`` and ``sample``.
+#: ``repro.io.PackedSequenceStore`` satisfies it too; the alias keeps the
+#: two core backends for annotation purposes without importing
+#: :mod:`repro.io` (which depends on this module).
 AnySequenceDatabase = Union[SequenceDatabase, FileSequenceDatabase]
 
 

@@ -129,6 +129,11 @@ def pad_chunk(rows: Sequence[np.ndarray], m: int) -> np.ndarray:
             f"sequence contains symbol {bad} but the compatibility "
             f"matrix only covers {m} symbols"
         )
+    if int(padded.min(initial=m)) < 0:
+        # A negative index would silently alias another matrix column.
+        raise MiningError(
+            "sequences contain symbol indices, which must be >= 0"
+        )
     return padded
 
 
@@ -383,14 +388,27 @@ def rows_database_totals(
     return totals
 
 
+def chunk_symbol_maxima(gathered: np.ndarray) -> np.ndarray:
+    """Per-symbol, per-sequence maxima over one chunk (Phase-1 kernel).
+
+    ``result[d, i] = max_t C(d, observed_t)`` for sequence ``i`` of the
+    chunk — bit-identical to
+    :func:`repro.core.match.symbol_sequence_matches` row by row: the
+    padded gather adds only duplicate columns and zero-valued pad
+    columns, neither of which changes an exact maximum over the
+    non-negative matrix entries.
+    """
+    m = gathered.shape[0] - 1
+    return gathered[:m].max(axis=1)
+
+
 def chunk_symbol_totals(gathered: np.ndarray) -> np.ndarray:
     """Per-symbol match sums over one chunk (Phase-1 kernel).
 
     ``result[d] = sum over sequences of max_t C(d, observed_t)``; the
     pad column is all zeros so padding never wins the maximum.
     """
-    m = gathered.shape[0] - 1
-    return gathered[:m].max(axis=1).sum(axis=1)
+    return chunk_symbol_maxima(gathered).sum(axis=1)
 
 
 def rows_symbol_totals(

@@ -55,7 +55,7 @@ import numpy as np
 
 from ..core.compatibility import CompatibilityMatrix
 from ..core.pattern import Pattern, WILDCARD
-from ..core.sequence import AnySequenceDatabase
+from ..core.sequence import AnySequenceDatabase, iter_chunks
 from ..errors import MiningError
 from ..obs import (
     RESIDENT_PLANE_BYTES,
@@ -284,14 +284,20 @@ class ResidentSampleEvaluator(MatchEngine):
         """
         digest = hashlib.blake2b(digest_size=16)
         rows: List[np.ndarray] = []
-        for _sid, seq in database.scan():
-            row = np.ascontiguousarray(np.asarray(seq))
-            rows.append(row)
-            digest.update(len(row).to_bytes(8, "little"))
-            # dtype.char is a C-level attribute; str(dtype) costs more
-            # than the row digest itself on short sequences.
-            digest.update(row.dtype.char.encode())
-            digest.update(row.data)
+        # One chunked pass: zero-copy blocks from backends that support
+        # them (the packed store), buffered rows elsewhere.  The digest
+        # is per row, over the same bytes in the same order as the
+        # per-row scan it replaces, so pin keys are unchanged — and
+        # equal content pins identically across backends.
+        for chunk in iter_chunks(database, self.chunk_rows):
+            for seq in chunk.rows:
+                row = np.ascontiguousarray(np.asarray(seq))
+                rows.append(row)
+                digest.update(len(row).to_bytes(8, "little"))
+                # dtype.char is a C-level attribute; str(dtype) costs
+                # more than the row digest itself on short sequences.
+                digest.update(row.dtype.char.encode())
+                digest.update(row.data)
         empty_database_guard(len(rows))
         key = (matrix_fingerprint(matrix), self.chunk_rows, digest.digest())
         pin = self._pin
@@ -426,7 +432,11 @@ class ResidentSampleEvaluator(MatchEngine):
         matrix: CompatibilityMatrix,
         tracer: Optional[Tracer] = None,
     ) -> np.ndarray:
-        rows = [np.asarray(seq) for _sid, seq in database.scan()]
+        rows = [
+            seq
+            for chunk in iter_chunks(database, self.chunk_rows)
+            for seq in chunk.rows
+        ]
         if not rows:
             raise MiningError(
                 "cannot compute symbol matches over an empty database"

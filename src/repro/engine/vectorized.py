@@ -35,7 +35,12 @@ import numpy as np
 from ..core.compatibility import CompatibilityMatrix
 from ..core.match import segment_match as _core_segment_match
 from ..core.pattern import Pattern
-from ..core.sequence import AnySequenceDatabase, SequenceLike, as_sequence_array
+from ..core.sequence import (
+    AnySequenceDatabase,
+    SequenceLike,
+    as_sequence_array,
+    iter_chunks,
+)
 from ..errors import MiningError
 from ..obs import (
     FACTOR_CACHE_EVICTIONS,
@@ -212,19 +217,15 @@ class VectorizedBatchEngine(MatchEngine):
         totals = np.zeros(len(patterns), dtype=np.float64)
         scratch: Dict[tuple, np.ndarray] = {}
         count = 0
-        rows: List[np.ndarray] = []
-        for _sid, seq in database.scan():
-            count += 1
-            rows.append(np.asarray(seq))
-            if len(rows) >= self.chunk_rows:
-                self._flush(
-                    rows, c_ext, m, fingerprint, groups,
-                    elements_by_span, totals, plans, scratch,
-                )
-                rows = []
-        if rows:
+        # One chunked pass; backends with a native scan_chunks (the
+        # packed store in particular) deliver zero-copy row blocks at
+        # exactly the engine's chunk boundary, so the padded chunks —
+        # and therefore the factor-cache keys — are identical to the
+        # row-buffered path this replaces.
+        for chunk in iter_chunks(database, self.chunk_rows):
+            count += len(chunk)
             self._flush(
-                rows, c_ext, m, fingerprint, groups,
+                list(chunk.rows), c_ext, m, fingerprint, groups,
                 elements_by_span, totals, plans, scratch,
             )
         empty_database_guard(count)
@@ -288,16 +289,11 @@ class VectorizedBatchEngine(MatchEngine):
         fingerprint = matrix_fingerprint(matrix)
         totals = np.zeros(m, dtype=np.float64)
         count = 0
-        rows: List[np.ndarray] = []
-        for _sid, seq in database.scan():
-            count += 1
-            rows.append(np.asarray(seq))
-            if len(rows) >= self.chunk_rows:
-                gathered = self._factor_array(rows, c_ext, m, fingerprint)
-                totals += gathered[:m].max(axis=1).sum(axis=1)
-                rows = []
-        if rows:
-            gathered = self._factor_array(rows, c_ext, m, fingerprint)
+        for chunk in iter_chunks(database, self.chunk_rows):
+            count += len(chunk)
+            gathered = self._factor_array(
+                list(chunk.rows), c_ext, m, fingerprint
+            )
             totals += gathered[:m].max(axis=1).sum(axis=1)
         if count == 0:
             raise MiningError(

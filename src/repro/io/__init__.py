@@ -1,0 +1,33 @@
+"""I/O subsystem: out-of-core packed sequence storage and chunked scans.
+
+:class:`PackedSequenceStore` is the disk-resident scan backend — all
+symbols in one memory-mapped ``int32`` buffer, rows delivered as
+zero-copy views.  The chunked-scan primitives (:class:`SequenceChunk`,
+:func:`iter_chunks`) live in :mod:`repro.core.sequence` so the core
+backends can implement them without a circular import; they are
+re-exported here as the public face of the streaming-scan API.
+"""
+
+from ..core.sequence import (
+    DEFAULT_SCAN_CHUNK_ROWS,
+    SequenceChunk,
+    iter_chunks,
+)
+from .packed import (
+    HEADER_BYTES,
+    STORE_MAGIC,
+    STORE_VERSION,
+    PackedSequenceStore,
+    is_packed_store,
+)
+
+__all__ = [
+    "DEFAULT_SCAN_CHUNK_ROWS",
+    "HEADER_BYTES",
+    "PackedSequenceStore",
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "SequenceChunk",
+    "is_packed_store",
+    "iter_chunks",
+]

@@ -16,6 +16,13 @@ the quarter-way layers, the eighth-way layers, ... until the memory
 budget (number of counters per scan) is filled; one database pass counts
 all scheduled probes; labels propagate; repeat until no ambiguous
 pattern remains.
+
+Each probe round's single pass is executed through
+:func:`~repro.mining.counting.count_matches_batched`, whose engines
+stream the database via the chunked scan API — every scheduled probe of
+the round is counted against each row block as it arrives, so a
+disk-resident round touches each chunk exactly once, and the round's
+I/O traffic lands on its own ``probe-round-N`` span in the run report.
 """
 
 from __future__ import annotations

@@ -22,7 +22,14 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
-from ..obs import PATTERNS_COUNTED, SCANS, Tracer, ensure_tracer
+from ..obs import (
+    PATTERNS_COUNTED,
+    SCANS,
+    Tracer,
+    ensure_tracer,
+    io_snapshot,
+    record_io,
+)
 
 
 def validate_memory_capacity(memory_capacity: Optional[int]) -> None:
@@ -86,13 +93,22 @@ def count_matches_batched(
     validate_memory_capacity(memory_capacity)
     eng = get_engine(engine)
     tracer = ensure_tracer(tracer)
+    io_before = io_snapshot(database)
     batch_size = memory_capacity or len(unique)
     result: Dict[Pattern, float] = {}
     for start in range(0, len(unique), batch_size):
+        # Engines consume the database through the chunked scan API
+        # (iter_chunks / scan_chunks), so each batch streams row blocks
+        # instead of materialising the database; the scan accounting
+        # below is unchanged by that.
         batch = unique[start : start + batch_size]
         result.update(
             eng.database_matches(batch, database, matrix, tracer=tracer)
         )
         tracer.count(scan_counter, 1)
         tracer.count(patterns_counter, len(batch))
+    # Disk-resident backends accumulate I/O counters during the scans;
+    # record the delta on the current span stack (a Phase-3 probe round,
+    # a levelwise level, ...), so every phase carries its own traffic.
+    record_io(tracer, database, io_before)
     return result

@@ -35,7 +35,14 @@ from ..core.pattern import Pattern, WILDCARD
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
-from ..obs import CANDIDATES_GENERATED, SCANS, Tracer, ensure_tracer
+from ..obs import (
+    CANDIDATES_GENERATED,
+    SCANS,
+    Tracer,
+    ensure_tracer,
+    io_snapshot,
+    record_io,
+)
 from .result import MiningResult
 
 
@@ -97,10 +104,12 @@ class DepthFirstMiner:
 
         with tracer.phase("materialize"):
             # Materialise once: the defining assumption of this class.
+            io_before = io_snapshot(database)
             sequences: List[np.ndarray] = [
                 np.asarray(seq) for _sid, seq in database.scan()
             ]
             tracer.count(SCANS, 1)
+            record_io(tracer, database, io_before)
             m = self.matrix.size
             symbol_match = self._symbol_matches(sequences)
 

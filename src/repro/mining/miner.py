@@ -32,7 +32,7 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
-from ..obs import SCANS, Tracer, ensure_tracer
+from ..obs import SCANS, Tracer, ensure_tracer, io_snapshot, record_io
 from .ambiguous import classify_on_sample
 from .collapsing import collapse_borders
 from .counting import validate_memory_capacity
@@ -135,10 +135,12 @@ class BorderCollapsingMiner:
 
         # Phase 1 — one scan: per-symbol matches + in-memory sample.
         with tracer.phase("phase1-scan"):
+            io_before = io_snapshot(database)
             symbol_match, sample = symbol_matches_and_sample(
                 database, self.matrix, sample_size, self.rng
             )
             tracer.count(SCANS, 1)
+            record_io(tracer, database, io_before)
 
         # Phase 2 — in-memory classification (no database passes).  When
         # the sample is the entire database the estimates are exact and

@@ -31,7 +31,14 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
-from ..obs import CANDIDATES_GENERATED, SCANS, Tracer, ensure_tracer
+from ..obs import (
+    CANDIDATES_GENERATED,
+    SCANS,
+    Tracer,
+    ensure_tracer,
+    io_snapshot,
+    record_io,
+)
 from .counting import count_matches_batched, validate_memory_capacity
 from .result import LevelStats, MiningResult
 
@@ -72,10 +79,12 @@ class PincerMiner:
         tracer = self.tracer
 
         with tracer.phase("phase1-scan"):
+            io_before = io_snapshot(database)
             symbol_match = self.engine.symbol_matches(
                 database, self.matrix, tracer=tracer
             )  # one scan
             tracer.count(SCANS, 1)
+            record_io(tracer, database, io_before)
         frequent_symbols = [
             d
             for d in range(self.matrix.size)

@@ -26,7 +26,14 @@ from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
 from ..errors import MiningError
-from ..obs import CANDIDATES_GENERATED, SCANS, Tracer, ensure_tracer
+from ..obs import (
+    CANDIDATES_GENERATED,
+    SCANS,
+    Tracer,
+    ensure_tracer,
+    io_snapshot,
+    record_io,
+)
 from .ambiguous import classify_on_sample
 from .chernoff import INFREQUENT
 from .counting import count_matches_batched, validate_memory_capacity
@@ -80,10 +87,12 @@ class ToivonenMiner:
 
         # Phase 1 (shared): symbol matches + sample in one pass.
         with tracer.phase("phase1-scan"):
+            io_before = io_snapshot(database)
             symbol_match, sample = symbol_matches_and_sample(
                 database, self.matrix, self.sample_size, self.rng
             )
             tracer.count(SCANS, 1)
+            record_io(tracer, database, io_before)
         # Phase 2 (shared): classify candidates on the sample; every
         # pattern that is not clearly infrequent must be verified.
         with tracer.phase("phase2-sample-mining"):

@@ -23,6 +23,10 @@ from .tracer import (
     FACTOR_CACHE_HITS,
     FACTOR_CACHE_MISSES,
     INLINE_FALLBACKS,
+    IO_BYTES_READ,
+    IO_CHUNK_SECONDS,
+    IO_CHUNKS,
+    IO_COUNTER_ATTRS,
     NULL_TRACER,
     NullTracer,
     PATTERNS_COUNTED,
@@ -38,6 +42,8 @@ from .tracer import (
     Span,
     Tracer,
     ensure_tracer,
+    io_snapshot,
+    record_io,
 )
 
 __all__ = [
@@ -47,6 +53,10 @@ __all__ = [
     "FACTOR_CACHE_HITS",
     "FACTOR_CACHE_MISSES",
     "INLINE_FALLBACKS",
+    "IO_BYTES_READ",
+    "IO_CHUNKS",
+    "IO_CHUNK_SECONDS",
+    "IO_COUNTER_ATTRS",
     "NULL_TRACER",
     "NullTracer",
     "PATTERNS_COUNTED",
@@ -64,5 +74,7 @@ __all__ = [
     "Span",
     "Tracer",
     "ensure_tracer",
+    "io_snapshot",
     "phase_report_from_span",
+    "record_io",
 ]

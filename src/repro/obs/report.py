@@ -20,6 +20,18 @@ from typing import Dict, List, Mapping, Optional
 from .tracer import SCANS, Span
 
 
+def _coerce_counter(value: object):
+    """Round-trip a counter value: ints stay ints, floats stay floats.
+
+    Almost every counter is an integer, but the I/O timing counter
+    (``io_chunk_seconds``) is fractional seconds — truncating it to
+    ``int`` on ``from_dict`` would zero it for any sub-second scan.
+    """
+    number = float(value)  # type: ignore[arg-type]
+    as_int = int(number)
+    return as_int if as_int == number else number
+
+
 @dataclass
 class PhaseReport:
     """One frozen span: name, duration, counters (descendants included),
@@ -51,7 +63,7 @@ class PhaseReport:
             name=str(payload["name"]),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             counters={
-                str(k): int(v)
+                str(k): _coerce_counter(v)
                 for k, v in dict(payload.get("counters", {})).items()
             },
             notes=dict(payload.get("notes", {})),
@@ -156,7 +168,7 @@ class RunReport:
                 for phase in payload.get("phases", [])
             ],
             counters={
-                str(k): int(v)
+                str(k): _coerce_counter(v)
                 for k, v in dict(payload.get("counters", {})).items()
             },
             context=dict(payload.get("context", {})),

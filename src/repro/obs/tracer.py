@@ -55,6 +55,39 @@ INLINE_FALLBACKS = "inline_fallbacks"
 RESIDENT_PLANE_HITS = "resident_plane_hits"
 RESIDENT_PLANE_MISSES = "resident_plane_misses"
 RESIDENT_PLANE_BYTES = "resident_plane_bytes"
+IO_BYTES_READ = "io_bytes_read"
+IO_CHUNKS = "io_chunks"
+IO_CHUNK_SECONDS = "io_chunk_seconds"
+
+#: The disk-resident backends' lifetime I/O accumulators, in the order
+#: they are snapshotted.  ``io_chunk_seconds`` is a float counter — the
+#: one exception to the counters-are-integers rule.
+IO_COUNTER_ATTRS = (IO_BYTES_READ, IO_CHUNKS, IO_CHUNK_SECONDS)
+
+
+def io_snapshot(database) -> tuple:
+    """Snapshot the I/O accumulators of *database* (zeros when the
+    backend has none, e.g. the in-memory database)."""
+    return tuple(
+        getattr(database, name, 0) for name in IO_COUNTER_ATTRS
+    )
+
+
+def record_io(tracer: "Tracer", database, before: tuple) -> None:
+    """Record the I/O delta since *before* on the current span stack.
+
+    Duck-typed over the backend: :class:`FileSequenceDatabase` and the
+    packed store expose ``io_bytes_read`` / ``io_chunks`` /
+    ``io_chunk_seconds``; backends without them contribute nothing.
+    Call around each scan-consuming step so nested spans (phases, probe
+    rounds) each carry their own I/O traffic.
+    """
+    if not tracer.enabled:
+        return
+    for name, base in zip(IO_COUNTER_ATTRS, before):
+        delta = getattr(database, name, 0) - base
+        if delta:
+            tracer.count(name, delta)
 
 
 class Span:

@@ -241,6 +241,73 @@ class TestFastaInput:
         assert "--alphabet is required" in capsys.readouterr().err
 
 
+class TestStoreAndConvert:
+    MINE = [
+        "--alphabet", "10", "--min-match", "0.5",
+        "--algorithm", "levelwise", "--max-weight", "4", "--max-span", "4",
+        "--json",
+    ]
+
+    @pytest.fixture
+    def packed(self, generated, tmp_path, capsys):
+        path = tmp_path / "db.nmp"
+        assert main(["convert", str(generated), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "packed" in out and "digest" in out
+        return path
+
+    def test_convert_round_trip_preserves_mining_output(
+        self, generated, packed, tmp_path, capsys
+    ):
+        back = tmp_path / "back.txt"
+        assert main(["convert", str(packed), str(back), "--to", "text"]) == 0
+        capsys.readouterr()
+        payloads = {}
+        for source in (generated, packed, back):
+            assert main(["mine", str(source), *self.MINE]) == 0
+            payloads[source] = json.loads(capsys.readouterr().out)
+        base = payloads[generated]["patterns"]
+        assert payloads[packed]["patterns"] == base  # bit-identical
+        assert payloads[back]["patterns"] == base
+        assert payloads[packed]["scans"] == payloads[generated]["scans"]
+
+    def test_store_flag_overrides_sniffing(self, generated, capsys):
+        # Forcing --store text on a text file works; forcing packed on a
+        # text file fails loudly (bad magic), never silently misparses.
+        assert main([
+            "mine", str(generated), *self.MINE, "--store", "text",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "mine", str(generated), *self.MINE, "--store", "packed",
+        ])
+        assert code == 2
+        assert "magic" in capsys.readouterr().err
+
+    def test_env_var_sets_default_store(self, packed, capsys, monkeypatch):
+        monkeypatch.setenv("NOISYMINE_STORE", "packed")
+        assert main(["mine", str(packed), *self.MINE]) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("NOISYMINE_STORE", "bogus")
+        code = main(["mine", str(packed), *self.MINE])
+        assert code == 2
+        assert "NOISYMINE_STORE" in capsys.readouterr().err
+
+    def test_fasta_with_packed_store_rejected(self, packed, capsys):
+        code = main([
+            "mine", str(packed), "--format", "fasta", "--min-match", "0.5",
+        ])
+        assert code == 2
+        assert "fasta" in capsys.readouterr().err
+
+    def test_convert_missing_input(self, tmp_path, capsys):
+        code = main([
+            "convert", str(tmp_path / "nope.txt"), str(tmp_path / "o.nmp"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestResultSerialization:
     def test_json_round_trips_through_mining_result(self, generated, capsys):
         import json as _json

@@ -445,6 +445,92 @@ class TestParallelLifecycle:
         finally:
             engine.close()
 
+    def test_one_pool_across_a_full_mining_run(self, fig2_matrix):
+        # The satellite guarantee: every phase of a run (Phase-1 scan,
+        # each level's counting pass) reuses one worker pool — the
+        # engine must not fork per call.
+        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        database = self._database(12)
+        try:
+            miner = LevelwiseMiner(
+                fig2_matrix, min_match=0.3, engine=engine
+            )
+            result = miner.mine(database)
+            assert result.frequent  # the run did real counting work
+            assert engine.pools_created == 1
+            assert engine.shards_dispatched >= 4  # several passes sharded
+            # A second run over the same matrix still reuses it.
+            miner.mine(database)
+            assert engine.pools_created == 1
+        finally:
+            engine.close()
+
+    def test_warm_pool_precreates_once(self, fig2_matrix):
+        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        try:
+            engine.warm_pool(fig2_matrix)
+            assert engine.pools_created == 1
+            engine.warm_pool(fig2_matrix)  # idempotent
+            assert engine.pools_created == 1
+            engine.database_matches(
+                self._batch(), self._database(8), fig2_matrix
+            )
+            assert engine.pools_created == 1  # the warm pool served it
+        finally:
+            engine.close()
+
+    def test_warm_pool_is_noop_for_single_worker(self, fig2_matrix):
+        engine = ParallelEngine(n_workers=1)
+        engine.warm_pool(fig2_matrix)
+        assert engine.pools_created == 0
+
+    def test_packed_store_scans_chunk_parallel(self, fig2_matrix, tmp_path):
+        # A path-backed packed store is dispatched to the pool by
+        # (path, row-range) — workers mmap the file themselves — and the
+        # merged totals are bit-identical to the in-memory shard path.
+        from repro import PackedSequenceStore
+
+        database = self._database(12)
+        store = PackedSequenceStore.from_database(
+            database, tmp_path / "db.nmp"
+        )
+        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        batch = self._batch()
+        try:
+            expected = engine.database_matches(batch, database, fig2_matrix)
+            dispatched = engine.shards_dispatched
+            result = engine.database_matches(batch, store, fig2_matrix)
+            assert engine.shards_dispatched == dispatched + 2
+            assert store.scan_count == 1
+            assert result == expected  # bit-identical merge order
+            symbols = engine.symbol_matches(store, fig2_matrix)
+            np.testing.assert_array_equal(
+                symbols, engine.symbol_matches(database, fig2_matrix)
+            )
+        finally:
+            engine.close()
+
+    def test_pathless_store_falls_back_to_row_shipping(self, fig2_matrix):
+        # No file behind the store: nothing for workers to mmap, so the
+        # engine ships rows like any other database (and still agrees).
+        from repro import PackedSequenceStore
+
+        database = self._database(12)
+        store = PackedSequenceStore.from_database(database)
+        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        try:
+            result = engine.database_matches(
+                self._batch(), store, fig2_matrix
+            )
+            expected = REF.database_matches(
+                self._batch(), database, fig2_matrix
+            )
+            assert store.scan_count == 1
+            for pattern, value in expected.items():
+                assert result[pattern] == pytest.approx(value, abs=1e-12)
+        finally:
+            engine.close()
+
     def test_close_is_idempotent_and_pool_comes_back(self, fig2_matrix):
         engine = ParallelEngine(n_workers=2, min_shard_rows=1)
         database = self._database(8)

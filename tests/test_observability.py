@@ -40,6 +40,9 @@ from repro.mining import ambiguous as ambiguous_mod
 from repro.mining.chernoff import INFREQUENT
 from repro.mining.collapsing import collapse_borders
 from repro.obs import (
+    IO_BYTES_READ,
+    IO_CHUNK_SECONDS,
+    IO_CHUNKS,
     NULL_TRACER,
     NullTracer,
     PhaseReport,
@@ -48,6 +51,8 @@ from repro.obs import (
     Span,
     Tracer,
     ensure_tracer,
+    io_snapshot,
+    record_io,
 )
 
 M = 5
@@ -136,6 +141,50 @@ class TestPhaseScanInvariant:
         assert report.elapsed_seconds >= 0.0
         for phase in report.phases:
             assert phase.elapsed_seconds >= 0.0
+
+    @pytest.mark.parametrize("storage", ["text", "packed"])
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_phase_scans_hold_on_disk_backends(
+        self, small_db, noise_matrix, tmp_path, algorithm, storage
+    ):
+        # The invariant must survive the move to disk residency: the
+        # chunked streaming scans consume exactly the passes the
+        # in-memory run consumes, phase by phase.
+        from repro import FileSequenceDatabase, PackedSequenceStore
+
+        path = tmp_path / "db.txt"
+        small_db.save(path)
+        if storage == "packed":
+            database = PackedSequenceStore.from_database(
+                small_db, tmp_path / "db.nmp"
+            )
+        else:
+            database = FileSequenceDatabase(path)
+
+        baseline_tracer = Tracer()
+        baseline = make_miner(
+            algorithm, noise_matrix, "reference", baseline_tracer
+        ).mine(small_db)
+
+        tracer = Tracer()
+        miner = make_miner(algorithm, noise_matrix, "reference", tracer)
+        result = miner.mine(database)
+        consumed = database.scan_count
+
+        report = result.report
+        assert report.scans == result.scans == consumed
+        assert sum(phase.scans for phase in report.phases) == consumed
+        # Per-phase scan counts identical to the in-memory run.
+        assert report.scans_by_phase() == \
+            baseline.report.scans_by_phase()
+        assert result.frequent == baseline.frequent  # bit-identical
+        # Disk backends surface their traffic; every scanned byte is
+        # attributed to some phase.
+        assert report.total(IO_BYTES_READ) > 0
+        assert sum(
+            phase.counters.get(IO_BYTES_READ, 0)
+            for phase in report.phases
+        ) == report.total(IO_BYTES_READ)
 
     def test_untraced_run_has_no_report(self, small_db, noise_matrix):
         miner = make_miner(
@@ -259,6 +308,66 @@ class TestTracer:
         span.count(SCANS, 2)
         assert span.scans == 3
         assert "p" in repr(span)
+
+
+class TestIoRecording:
+    class FakeDisk:
+        def __init__(self):
+            self.io_bytes_read = 0
+            self.io_chunks = 0
+            self.io_chunk_seconds = 0.0
+
+    def test_deltas_land_on_the_open_span(self):
+        tracer = Tracer()
+        disk = self.FakeDisk()
+        with tracer.phase("phase1-scan"):
+            before = io_snapshot(disk)
+            disk.io_bytes_read += 4096
+            disk.io_chunks += 2
+            disk.io_chunk_seconds += 0.25
+            record_io(tracer, disk, before)
+        phase = tracer.phases()[0]
+        assert phase.counters[IO_BYTES_READ] == 4096
+        assert phase.counters[IO_CHUNKS] == 2
+        assert phase.counters[IO_CHUNK_SECONDS] == 0.25
+        assert tracer.total(IO_BYTES_READ) == 4096
+
+    def test_memory_database_records_nothing(self, small_db):
+        # In-memory databases have no io counters; the snapshot is all
+        # zeros and no counter keys are created.
+        tracer = Tracer()
+        with tracer.phase("p"):
+            before = io_snapshot(small_db)
+            list(small_db.scan())
+            record_io(tracer, small_db, before)
+        assert IO_BYTES_READ not in tracer.phases()[0].counters
+        assert tracer.total(IO_BYTES_READ) == 0
+
+    def test_null_tracer_skips_the_work(self):
+        disk = self.FakeDisk()
+        before = io_snapshot(disk)
+        disk.io_bytes_read += 10
+        record_io(NULL_TRACER, disk, before)  # must not raise
+
+    def test_float_seconds_survive_report_round_trip(self):
+        tracer = Tracer()
+        disk = self.FakeDisk()
+        with tracer.phase("phase1-scan"):
+            before = io_snapshot(disk)
+            disk.io_bytes_read += 8
+            disk.io_chunk_seconds += 0.125
+            record_io(tracer, disk, before)
+        report = tracer.report(
+            algorithm="levelwise", engine="reference",
+            scans=1, elapsed_seconds=0.0,
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        rebuilt = RunReport.from_dict(payload)
+        assert rebuilt == report
+        assert rebuilt.phases[0].counters[IO_CHUNK_SECONDS] == 0.125
+        assert isinstance(
+            rebuilt.phases[0].counters[IO_CHUNK_SECONDS], float
+        )
 
 
 # -- report schema -------------------------------------------------------------
@@ -527,3 +636,23 @@ class TestCliMetrics:
         report = RunReport.from_dict(metrics)
         assert report.algorithm == algorithm
         assert sum(report.scans_by_phase().values()) == report.scans
+
+    def test_disk_run_surfaces_io_counters(self, generated, tmp_path,
+                                           capsys):
+        # Mining a packed store with --metrics-json must expose the
+        # chunk traffic; the in-memory-equivalent text run reports its
+        # own (much larger) decode volume through the same counters.
+        packed = tmp_path / "db.nmp"
+        assert cli_main(["convert", str(generated), str(packed)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "metrics.json"
+        code = cli_main([
+            "mine", str(packed), *MINE_ARGS, "--metrics-json", str(out),
+        ])
+        assert code == 0
+        report = RunReport.from_dict(json.loads(out.read_text()))
+        assert report.total(IO_BYTES_READ) > 0
+        assert report.total(IO_CHUNKS) > 0
+        assert report.total(IO_CHUNK_SECONDS) >= 0.0
+        phase1 = report.phase("phase1-scan")
+        assert phase1.counters[IO_BYTES_READ] > 0

@@ -65,6 +65,31 @@ class TestInMemoryDatabase:
         assert db.average_length() == 2.0
         assert db.max_symbol() == 4
 
+    def test_metadata_cached_at_construction(self):
+        # Metadata is computed once in __init__; repeated queries must
+        # not re-reduce the rows (regression: the benchmark layer calls
+        # total_symbols() in hot loops).
+        db = SequenceDatabase([[1, 2, 3], [4]])
+        assert db.total_symbols() == 4
+        db._sequences[0] = np.array([9], dtype=np.int32)  # sabotage
+        assert db.total_symbols() == 4  # served from the cache
+        assert db.max_symbol() == 4
+
+    def test_metadata_survives_reset_scan_count(self):
+        # reset_scan_count clears scan accounting only — the cached
+        # metadata (and scan results) must be unaffected.
+        db = SequenceDatabase([[1, 2, 3], [4, 5]])
+        total = db.total_symbols()
+        maximum = db.max_symbol()
+        average = db.average_length()
+        list(db.scan())
+        db.reset_scan_count()
+        assert db.scan_count == 0
+        assert db.total_symbols() == total == 5
+        assert db.max_symbol() == maximum == 5
+        assert db.average_length() == average == 2.5
+        assert len(list(db.scan())) == 2
+
     def test_from_strings(self, d_alphabet):
         db = SequenceDatabase.from_strings(
             [["d1", "d2"], ["d5"]], d_alphabet
@@ -228,6 +253,27 @@ class TestFileDatabase:
         fdb = FileSequenceDatabase(db_file)
         assert len(fdb) == 3
         assert fdb.scan_count == 0
+
+    def test_metadata_without_counting_scan(self, db_file):
+        # The validation pass at construction also caches the metadata,
+        # so the paper's cost model (counted passes) is not distorted by
+        # metadata queries.
+        fdb = FileSequenceDatabase(db_file)
+        assert fdb.total_symbols() == 6
+        assert fdb.max_symbol() == 6
+        assert fdb.average_length() == 2.0
+        assert fdb.scan_count == 0
+        fdb.reset_scan_count()
+        assert fdb.total_symbols() == 6  # survives the reset
+
+    def test_scan_chunks_streams_blocks(self, db_file):
+        fdb = FileSequenceDatabase(db_file)
+        chunks = list(fdb.scan_chunks(chunk_rows=2))
+        assert fdb.scan_count == 1
+        assert [len(c) for c in chunks] == [2, 1]
+        assert [list(c.ids) for c in chunks] == [[0, 1], [2]]
+        assert fdb.io_chunks == 2
+        assert fdb.io_bytes_read > 0
 
     def test_scan_streams_and_counts(self, db_file):
         fdb = FileSequenceDatabase(db_file)
