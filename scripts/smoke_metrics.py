@@ -11,8 +11,9 @@ the standalone file.  One combination additionally runs with
 reach the report.  Finally the Phase-2 sample benchmark runs in
 ``--smoke`` mode (correctness gate only, no timing assertions) and its
 ``BENCH_phase2.json`` is copied next to the metrics files, followed by
-the scan I/O benchmark (``BENCH_io.json``) in the same mode.  Everything
-is left in the output directory so the CI workflow can upload it as an
+the scan I/O benchmark (``BENCH_io.json``) and the lattice-kernel
+benchmark (``BENCH_lattice.json``) in the same mode.  Everything is
+left in the output directory so the CI workflow can upload it as an
 artifact.
 
 Usage::
@@ -167,6 +168,18 @@ def main(argv=None) -> int:
         print("scan I/O benchmark smoke failed", file=sys.stderr)
         return rc
     shutil.copy(bench_scan_io.OUTPUT, out / "BENCH_io.json")
+
+    # Lattice-kernel benchmark, smoke mode: bit-identity gates on the
+    # packed candidate generation, propagation sweep and all six
+    # miners across both lattice modes (no speedup gate), with
+    # BENCH_lattice.json shipped alongside.
+    import bench_lattice
+
+    rc = bench_lattice.main(["--smoke"])
+    if rc != 0:
+        print("lattice kernel benchmark smoke failed", file=sys.stderr)
+        return rc
+    shutil.copy(bench_lattice.OUTPUT, out / "BENCH_lattice.json")
 
     print(f"all {len(COMBINATIONS) + 1} metrics reports valid; "
           f"artifacts in {out}/")

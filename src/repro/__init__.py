@@ -23,7 +23,10 @@ reproduction of every figure of the paper's evaluation.
 
 from .core import (
     AMINO_ACIDS,
+    DEFAULT_LATTICE_MODE,
     DEFAULT_SCAN_CHUNK_ROWS,
+    LATTICE_ENV_VAR,
+    LATTICE_MODES,
     calibrated_min_match,
     clean_occurrence_match,
     Alphabet,
@@ -36,6 +39,9 @@ from .core import (
     SequenceDatabase,
     SparseMatchEngine,
     WILDCARD,
+    lattice_from_env,
+    resolve_lattice,
+    use_kernels,
     compatibility_from_channel,
     database_match,
     database_matches,
@@ -122,7 +128,10 @@ __all__ = [
     "Alphabet",
     "Border",
     "CompatibilityMatrix",
+    "DEFAULT_LATTICE_MODE",
     "DEFAULT_SCAN_CHUNK_ROWS",
+    "LATTICE_ENV_VAR",
+    "LATTICE_MODES",
     "FileSequenceDatabase",
     "PackedSequenceStore",
     "Pattern",
@@ -138,6 +147,9 @@ __all__ = [
     "database_matches",
     "is_packed_store",
     "iter_chunks",
+    "lattice_from_env",
+    "resolve_lattice",
+    "use_kernels",
     "segment_match",
     "sequence_match",
     "symbol_matches",

@@ -31,6 +31,7 @@ import numpy as np
 
 from .core.compatibility import CompatibilityMatrix
 from .core.lattice import PatternConstraints
+from .core.latticekernels import LATTICE_MODES, resolve_lattice
 from .core.pattern import Pattern
 from .core.sequence import FileSequenceDatabase
 from .datagen.motifs import Motif, random_motif
@@ -135,6 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
              "'parallel' (multiprocessing shards); results and scan "
              "counts are identical across backends "
              "(default: $NOISYMINE_ENGINE, else 'reference')",
+    )
+    mine.add_argument(
+        "--lattice",
+        choices=list(LATTICE_MODES),
+        default=None,
+        help="lattice execution mode: 'kernel' (packed numpy batch "
+             "kernels for candidate generation, signature-indexed "
+             "border/subsumption checks) or 'reference' (the original "
+             "pure-Python lattice paths); borders, labels and scan "
+             "counts are identical in both modes "
+             "(default: $NOISYMINE_LATTICE, else 'kernel')",
     )
     mine.add_argument(
         "--resident-sample",
@@ -281,6 +293,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     # invalid variable fails loudly instead of silently running the
     # default backend).
     engine = get_engine(args.engine)
+    # Same early resolution for the lattice mode: --lattice omitted
+    # honours $NOISYMINE_LATTICE, and a bad value fails loudly here
+    # rather than deep inside a miner.
+    lattice = resolve_lattice(args.lattice)
     # A live tracer costs a few dict updates per scan; only pay for it
     # when some output will actually carry the metrics.
     tracer = Tracer() if (args.json or args.metrics_json) else None
@@ -290,29 +306,30 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             delta=args.delta, constraints=constraints,
             memory_capacity=args.memory_capacity, rng=rng, engine=engine,
             tracer=tracer, resident_sample=args.resident_sample,
+            lattice=lattice,
         )
     elif args.algorithm == "levelwise":
         miner = LevelwiseMiner(
             matrix, args.min_match, constraints=constraints,
             memory_capacity=args.memory_capacity, engine=engine,
-            tracer=tracer,
+            tracer=tracer, lattice=lattice,
         )
     elif args.algorithm == "maxminer":
         miner = MaxMiner(
             matrix, args.min_match, constraints=constraints,
             memory_capacity=args.memory_capacity, engine=engine,
-            tracer=tracer,
+            tracer=tracer, lattice=lattice,
         )
     elif args.algorithm == "pincer":
         miner = PincerMiner(
             matrix, args.min_match, constraints=constraints,
             memory_capacity=args.memory_capacity, engine=engine,
-            tracer=tracer,
+            tracer=tracer, lattice=lattice,
         )
     elif args.algorithm == "depthfirst":
         miner = DepthFirstMiner(
             matrix, args.min_match, constraints=constraints, engine=engine,
-            tracer=tracer,
+            tracer=tracer, lattice=lattice,
         )
     else:
         miner = ToivonenMiner(
@@ -320,6 +337,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             delta=args.delta, constraints=constraints,
             memory_capacity=args.memory_capacity, rng=rng, engine=engine,
             tracer=tracer, resident_sample=args.resident_sample,
+            lattice=lattice,
         )
     result = miner.mine(database)
     if args.metrics_json:
@@ -335,6 +353,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         payload = {
             "algorithm": args.algorithm,
             "engine": engine.name,
+            "lattice": lattice,
             "min_match": args.min_match,
             **result.to_dict(),
         }

@@ -10,12 +10,22 @@ infrequent boundary), and Phase 3 collapses the gap between them.
 already covered is a no-op, and adding a new maximal pattern evicts any
 member it dominates.  ``covers(p)`` answers "is ``p`` in the downward
 closure?" — i.e. "is ``p`` frequent according to this border?".
+
+In the default ``kernel`` lattice mode (see
+:mod:`repro.core.latticekernels`) both the coverage query and the
+dominated sweep prefilter each member with its cached 64-bit symbol
+signature and span before paying for a positional
+``is_subpattern_of`` — an exact filter (a necessary condition for
+containment), so results are identical to the reference mode.  A
+tracer, when attached, receives the ``subsumption_checks`` /
+``subsumption_skipped`` traffic.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Set
+from typing import Iterable, Iterator, Optional, Set
 
+from ..obs import SUBSUMPTION_CHECKS, SUBSUMPTION_SKIPPED, Tracer
 from .pattern import Pattern
 
 
@@ -25,13 +35,36 @@ class Border:
     Elements are bucketed by weight so coverage queries only test
     border elements at least as heavy as the query pattern (a pattern
     can only be a subpattern of an equal-or-heavier one).
+
+    Parameters
+    ----------
+    patterns:
+        Initial members, added one by one (so the invariant holds from
+        the start).
+    lattice:
+        Lattice mode: ``"kernel"`` enables the signature/span
+        prefilter, ``"reference"`` keeps the original scan; ``None``
+        defers to the ``NOISYMINE_LATTICE`` environment variable
+        (default kernel).  Both modes answer every query identically.
+    tracer:
+        Optional :class:`repro.obs.Tracer` receiving the subsumption
+        counter traffic of the kernel mode.
     """
 
-    __slots__ = ("_elements", "_by_weight")
+    __slots__ = ("_elements", "_by_weight", "_use_kernels", "_tracer")
 
-    def __init__(self, patterns: Iterable[Pattern] = ()):
+    def __init__(
+        self,
+        patterns: Iterable[Pattern] = (),
+        lattice: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        from .latticekernels import use_kernels
+
         self._elements: Set[Pattern] = set()
         self._by_weight: dict = {}
+        self._use_kernels = use_kernels(lattice)
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         for pattern in patterns:
             self.add(pattern)
 
@@ -43,18 +76,48 @@ class Border:
         """
         if self.covers(pattern):
             return False
-        dominated = [
-            member
-            for weight, bucket in self._by_weight.items()
-            if weight <= pattern.weight
-            for member in bucket
-            if member.is_subpattern_of(pattern)
-        ]
+        if self._use_kernels:
+            dominated = self._dominated_filtered(pattern)
+        else:
+            dominated = [
+                member
+                for weight, bucket in self._by_weight.items()
+                if weight <= pattern.weight
+                for member in bucket
+                if member.is_subpattern_of(pattern)
+            ]
         for member in dominated:
             self._discard(member)
         self._elements.add(pattern)
         self._by_weight.setdefault(pattern.weight, set()).add(pattern)
         return True
+
+    def _dominated_filtered(self, pattern: Pattern) -> list:
+        """The dominated sweep with the signature/span prefilter.
+
+        A member can only be a subpattern of *pattern* if it is no
+        longer, no heavier (the bucket test) and uses no symbol absent
+        from *pattern* — all checked before the positional scan.
+        """
+        sig = pattern.signature64()
+        span = pattern.span
+        checks = skipped = 0
+        dominated = []
+        for weight, bucket in self._by_weight.items():
+            if weight > pattern.weight:
+                continue
+            for member in bucket:
+                if member.span > span or member.signature64() & ~sig:
+                    skipped += 1
+                    continue
+                checks += 1
+                if member.is_subpattern_of(pattern):
+                    dominated.append(member)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.count(SUBSUMPTION_CHECKS, checks)
+            tracer.count(SUBSUMPTION_SKIPPED, skipped)
+        return dominated
 
     def _discard(self, pattern: Pattern) -> None:
         self._elements.discard(pattern)
@@ -66,6 +129,8 @@ class Border:
 
     def covers(self, pattern: Pattern) -> bool:
         """True iff *pattern* lies in the downward closure of the border."""
+        if self._use_kernels:
+            return self._covers_filtered(pattern)
         weight = pattern.weight
         for member_weight, bucket in self._by_weight.items():
             if member_weight < weight:
@@ -75,18 +140,56 @@ class Border:
                     return True
         return False
 
+    def _covers_filtered(self, pattern: Pattern) -> bool:
+        """Coverage with the signature/span prefilter per member."""
+        sig = pattern.signature64()
+        span = pattern.span
+        weight = pattern.weight
+        checks = skipped = 0
+        found = False
+        for member_weight, bucket in self._by_weight.items():
+            if member_weight < weight:
+                continue
+            for member in bucket:
+                if span > member.span or sig & ~member.signature64():
+                    skipped += 1
+                    continue
+                checks += 1
+                if pattern.is_subpattern_of(member):
+                    found = True
+                    break
+            if found:
+                break
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.count(SUBSUMPTION_CHECKS, checks)
+            tracer.count(SUBSUMPTION_SKIPPED, skipped)
+        return found
+
     def update(self, patterns: Iterable[Pattern]) -> None:
         """Add every pattern in *patterns*."""
         for pattern in patterns:
             self.add(pattern)
 
-    def copy(self) -> "Border":
+    def copy(self, tracer: Optional[Tracer] = None) -> "Border":
+        """A deep-enough copy (shared immutable members, fresh buckets).
+
+        The clone keeps the lattice mode; *tracer* rebinds the
+        observability sink (e.g. Phase 3 copying the Phase-2 FQT border
+        wants the counters on its own spans), ``None`` keeps the
+        current one.
+        """
         clone = Border()
         clone._elements = set(self._elements)
         clone._by_weight = {
             weight: set(bucket)
             for weight, bucket in self._by_weight.items()
         }
+        clone._use_kernels = self._use_kernels
+        if tracer is not None:
+            clone._tracer = tracer if tracer.enabled else None
+        else:
+            clone._tracer = self._tracer
         return clone
 
     # -- queries -------------------------------------------------------------

@@ -19,11 +19,13 @@ benchmarks dial difficulty.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Iterator, List, Optional, Sequence, Set
 
 from ..errors import MiningError
+from ..obs import CANDIDATE_GEN_SECONDS, LATTICE_CANDIDATES, Tracer
 from .pattern import Pattern, WILDCARD
 
 
@@ -90,20 +92,16 @@ def extend_right(
             yield Pattern(base + tail + [symbol])
 
 
-def generate_candidates(
+def reference_generate_candidates(
     frequent: Set[Pattern],
     frequent_symbols: Sequence[int],
     constraints: PatternConstraints,
 ) -> Set[Pattern]:
-    """Apriori join + prune for the next lattice level.
+    """The pure-Python Apriori join + prune (differential baseline).
 
-    Given the frequent ``k``-patterns, produce the candidate
-    ``(k+1)``-patterns: rightward extensions whose **every** immediate
-    ``k``-subpattern *inside the constrained lattice* is frequent.
-    Subpatterns that violate the constraints (e.g. a gapped subpattern
-    of a contiguous candidate when ``max_gap = 0``) are outside the
-    search space and impose no requirement.  For ``k = 1`` the frequent
-    set is the 1-patterns over *frequent_symbols*.
+    Kept verbatim as the semantic reference for the packed kernel in
+    :mod:`repro.core.latticekernels`; production call sites go through
+    :func:`generate_candidates`, which dispatches on the lattice mode.
     """
     if not frequent:
         return set()
@@ -118,6 +116,54 @@ def generate_candidates(
                 if constraints.admits(sub)
             ):
                 candidates.add(extended)
+    return candidates
+
+
+def generate_candidates(
+    frequent: Set[Pattern],
+    frequent_symbols: Sequence[int],
+    constraints: PatternConstraints,
+    lattice: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+) -> Set[Pattern]:
+    """Apriori join + prune for the next lattice level.
+
+    Given the frequent ``k``-patterns, produce the candidate
+    ``(k+1)``-patterns: rightward extensions whose **every** immediate
+    ``k``-subpattern *inside the constrained lattice* is frequent.
+    Subpatterns that violate the constraints (e.g. a gapped subpattern
+    of a contiguous candidate when ``max_gap = 0``) are outside the
+    search space and impose no requirement.  For ``k = 1`` the frequent
+    set is the 1-patterns over *frequent_symbols*.
+
+    *lattice* picks the execution path (``"kernel"`` — the packed
+    batch kernel, the default — or ``"reference"``; ``None`` defers to
+    the ``NOISYMINE_LATTICE`` environment variable).  Both produce the
+    same set for any input.  When *tracer* is enabled, the candidate
+    count and generation time land on the ``lattice_candidates`` /
+    ``candidate_gen_seconds`` counters and the per-level counts on the
+    run-level ``lattice_candidates_per_level`` note.
+    """
+    from .latticekernels import kernel_generate_candidates, use_kernels
+
+    timed = tracer is not None and tracer.enabled
+    started = time.perf_counter() if timed else 0.0
+    if use_kernels(lattice):
+        candidates = kernel_generate_candidates(
+            frequent, frequent_symbols, constraints
+        )
+    else:
+        candidates = reference_generate_candidates(
+            frequent, frequent_symbols, constraints
+        )
+    if timed:
+        tracer.count(LATTICE_CANDIDATES, len(candidates))
+        tracer.count(CANDIDATE_GEN_SECONDS,
+                     time.perf_counter() - started)
+        per_level = tracer.root.notes.setdefault(
+            "lattice_candidates_per_level", []
+        )
+        per_level.append(len(candidates))
     return candidates
 
 

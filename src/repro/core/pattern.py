@@ -47,7 +47,7 @@ class Pattern:
     '<0 * 2>'
     """
 
-    __slots__ = ("_elements", "_hash")
+    __slots__ = ("_elements", "_hash", "_weight", "_sig")
 
     def __init__(self, elements: Iterable[int]):
         elems = tuple(int(e) for e in elements)
@@ -66,6 +66,8 @@ class Pattern:
                 )
         self._elements = elems
         self._hash = hash(elems)
+        self._weight = len(elems) - elems.count(WILDCARD)
+        self._sig: Optional[int] = None
 
     # -- constructors -----------------------------------------------------
 
@@ -110,7 +112,27 @@ class Pattern:
     @property
     def weight(self) -> int:
         """Number of non-eternal symbols *k* (the paper's "k-pattern")."""
-        return sum(1 for e in self._elements if e != WILDCARD)
+        return self._weight
+
+    def signature64(self) -> int:
+        """A 64-bit symbol-presence bitmask (bit ``symbol & 63``).
+
+        The signature is a necessary-condition filter for subsumption:
+        ``P.is_subpattern_of(Q)`` requires every symbol of ``P`` to occur
+        in ``Q``, hence ``P.signature64() & ~Q.signature64() == 0`` (the
+        converse does not hold — the mask folds the alphabet mod 64 and
+        ignores positions).  Computed lazily and cached; the mask itself
+        is a plain Python int so callers can combine it bit-wise without
+        numpy round trips.
+        """
+        sig = self._sig
+        if sig is None:
+            sig = 0
+            for e in self._elements:
+                if e != WILDCARD:
+                    sig |= 1 << (e & 63)
+            self._sig = sig
+        return sig
 
     @property
     def symbol_set(self) -> Set[int]:

@@ -29,9 +29,11 @@ import numpy as np
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints, generate_candidates
+from ..core.latticekernels import batch_restricted_spread, use_kernels
 from ..core.pattern import Pattern
 from ..core.sequence import SequenceDatabase
 from ..errors import MiningError
+from . import chernoff
 from .chernoff import (
     AMBIGUOUS,
     FREQUENT,
@@ -68,6 +70,7 @@ def classify_on_sample(
     engine: "EngineSpec" = None,
     tracer: Optional[Tracer] = None,
     resident: Optional[bool] = None,
+    lattice: Optional[str] = None,
 ) -> SampleClassification:
     """Run the Phase-2 breadth-first classification.
 
@@ -103,9 +106,19 @@ def classify_on_sample(
         ``None`` defers to the ``NOISYMINE_RESIDENT`` environment
         variable (default off).  Results and scan accounting are
         identical either way; only Phase-2 wall-clock changes.
+    lattice:
+        Lattice execution mode for candidate generation, border
+        maintenance and the restricted-spread evaluation:
+        ``"kernel"`` (packed numpy batch kernels, the default) or
+        ``"reference"`` (the original pure-Python paths).  ``None``
+        defers to the ``NOISYMINE_LATTICE`` environment variable.
+        Labels, borders and every recorded value are identical in both
+        modes.
     """
     constraints = constraints or PatternConstraints()
     tracer = ensure_tracer(tracer)
+    kernels = use_kernels(lattice)
+    lattice_mode = "kernel" if kernels else "reference"
     if resident is None:
         resident = resident_from_env()
     if resident:
@@ -150,8 +163,8 @@ def classify_on_sample(
     labels: Dict[Pattern, str] = {}
     sample_matches: Dict[Pattern, float] = {}
     epsilons: Dict[Pattern, float] = {}
-    fqt = Border()
-    infqt = Border()
+    fqt = Border(lattice=lattice_mode, tracer=tracer)
+    infqt = Border(lattice=lattice_mode, tracer=tracer)
     survivors: Set[Pattern] = set()
     for d in range(matrix.size):
         pattern = Pattern.single(d)
@@ -183,23 +196,42 @@ def classify_on_sample(
     level = 1
     while survivors and level < constraints.max_weight:
         candidates = generate_candidates(
-            survivors, frequent_symbols, constraints
+            survivors, frequent_symbols, constraints,
+            lattice=lattice_mode, tracer=tracer,
         )
         if not candidates:
             break
         level += 1
         tracer.count(CANDIDATES_GENERATED, len(candidates))
+        ordered = sorted(candidates)
+        # The restricted spread of the whole level in one batched
+        # gather (kernel mode) or per pattern (reference mode); the
+        # values are identical, and each pattern's spread is consumed
+        # twice below (zero shortcut + Chernoff band).  The batch path
+        # only applies while the module-level ``restricted_spread``
+        # hook is the stock one — rebinding it (tests, experiments)
+        # must keep steering every spread evaluation.
+        if use_restricted_spread:
+            if kernels and restricted_spread is chernoff.restricted_spread:
+                spread_of = dict(
+                    zip(ordered,
+                        batch_restricted_spread(ordered, symbol_match))
+                )
+            else:
+                spread_of = {
+                    pattern: restricted_spread(pattern, symbol_match)
+                    for pattern in ordered
+                }
+        else:
+            spread_of = {}
         # A zero restricted spread means some symbol of the pattern has
         # match 0 over the full database, so the pattern's match is
         # provably 0 (Claim 4.2): classify it infrequent immediately.
         # Without this, the zero-width Chernoff band could leave such a
         # pattern ambiguous and Phase 3 would burn probe scans on it.
         countable = []
-        for pattern in sorted(candidates):
-            if (
-                use_restricted_spread
-                and restricted_spread(pattern, symbol_match) == 0.0
-            ):
+        for pattern in ordered:
+            if use_restricted_spread and spread_of[pattern] == 0.0:
                 labels[pattern] = INFREQUENT
                 sample_matches[pattern] = 0.0
                 epsilons[pattern] = 0.0
@@ -221,9 +253,7 @@ def classify_on_sample(
                 label = FREQUENT if value >= min_match else INFREQUENT
             else:
                 spread = (
-                    restricted_spread(pattern, symbol_match)
-                    if use_restricted_spread
-                    else 1.0
+                    spread_of[pattern] if use_restricted_spread else 1.0
                 )
                 epsilon = banded_epsilon(spread)
                 label = classify_value(value, min_match, epsilon)

@@ -28,11 +28,13 @@ I/O traffic lands on its own ``probe-round-N`` span in the run report.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
+from ..core.latticekernels import filter_undecided, use_kernels
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec
@@ -84,9 +86,12 @@ def layer_schedule(low: int, high: int) -> List[int]:
         return []
     order: List[int] = []
     seen: Set[int] = set()
-    queue: List[Tuple[int, int]] = [(low, high)]
+    # A deque: the breadth-first subdivision pops from the front, and
+    # ``list.pop(0)`` would shift the whole tail each time (O(n²) over
+    # wide weight ranges).
+    queue: Deque[Tuple[int, int]] = deque([(low, high)])
     while queue:
-        a, b = queue.pop(0)
+        a, b = queue.popleft()
         if b <= a:
             continue
         mid = math.ceil((a + b) / 2)
@@ -142,6 +147,7 @@ def collapse_borders(
     memory_capacity: Optional[int] = None,
     engine: EngineSpec = None,
     tracer: Optional[Tracer] = None,
+    lattice: Optional[str] = None,
 ) -> CollapseOutcome:
     """Resolve every ambiguous pattern with a minimal number of scans.
 
@@ -154,10 +160,17 @@ def collapse_borders(
     (``probe-round-1``, ``probe-round-2``, ...) recording its probe
     count, scan and the number of ambiguous patterns still undecided
     after label propagation.
+
+    *lattice* selects the label-propagation path: ``"kernel"`` (the
+    default) runs the round's pairwise subsumption sweep as a packed
+    batch with the signature prefilter, ``"reference"`` keeps the
+    original per-pattern loops.  Borders, labels and probe rounds are
+    identical either way.
     """
     validate_memory_capacity(memory_capacity)
     tracer = ensure_tracer(tracer)
-    decided_frequent = classification.fqt.copy()
+    kernels = use_kernels(lattice)
+    decided_frequent = classification.fqt.copy(tracer=tracer)
     minimal_infrequent: Set[Pattern] = set()
     undecided: Set[Pattern] = {
         pattern
@@ -194,18 +207,24 @@ def collapse_borders(
             # checking against this round's new decisions (earlier rounds
             # already filtered against the older ones).
             undecided.difference_update(batch)
-            undecided = {
-                pattern
-                for pattern in undecided
-                if not any(
-                    pattern.is_subpattern_of(fresh)
-                    for fresh in newly_frequent
+            if kernels:
+                undecided = filter_undecided(
+                    undecided, newly_frequent, newly_infrequent,
+                    tracer=tracer,
                 )
-                and not any(
-                    killer.is_subpattern_of(pattern)
-                    for killer in newly_infrequent
-                )
-            }
+            else:
+                undecided = {
+                    pattern
+                    for pattern in undecided
+                    if not any(
+                        pattern.is_subpattern_of(fresh)
+                        for fresh in newly_frequent
+                    )
+                    and not any(
+                        killer.is_subpattern_of(pattern)
+                        for killer in newly_infrequent
+                    )
+                }
             tracer.annotate(AMBIGUOUS_REMAINING, len(undecided))
     return CollapseOutcome(
         border=decided_frequent,

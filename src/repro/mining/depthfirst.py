@@ -31,6 +31,7 @@ import numpy as np
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints
+from ..core.latticekernels import resolve_lattice
 from ..core.pattern import Pattern, WILDCARD
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
@@ -88,6 +89,7 @@ class DepthFirstMiner:
         constraints: Optional[PatternConstraints] = None,
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
+        lattice: Optional[str] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -96,11 +98,13 @@ class DepthFirstMiner:
         self.constraints = constraints or PatternConstraints()
         self.engine = get_engine(engine)
         self.tracer = ensure_tracer(tracer)
+        self.lattice = resolve_lattice(lattice)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
         tracer = self.tracer
+        tracer.note("lattice", self.lattice)
 
         with tracer.phase("materialize"):
             # Materialise once: the defining assumption of this class.
@@ -135,7 +139,7 @@ class DepthFirstMiner:
         elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
-            border=Border(frequent),
+            border=Border(frequent, lattice=self.lattice, tracer=tracer),
             scans=scans,
             elapsed_seconds=elapsed,
             extras={

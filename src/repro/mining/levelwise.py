@@ -19,6 +19,7 @@ from typing import Dict, Optional, Set
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints, generate_candidates
+from ..core.latticekernels import resolve_lattice
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
@@ -58,6 +59,11 @@ class LevelwiseMiner:
         Optional :class:`repro.obs.Tracer`; records one ``phase1-scan``
         span plus one ``level-k`` span per lattice level and attaches a
         :class:`repro.obs.RunReport` to the result.
+    lattice:
+        Lattice execution mode (``"kernel"`` or ``"reference"``;
+        ``None`` defers to ``NOISYMINE_LATTICE``).  Kernel mode runs
+        candidate generation and border maintenance through the packed
+        numpy batch kernels; results are identical in both modes.
     """
 
     algorithm = "levelwise"
@@ -70,6 +76,7 @@ class LevelwiseMiner:
         memory_capacity: Optional[int] = None,
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
+        lattice: Optional[str] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(
@@ -82,12 +89,14 @@ class LevelwiseMiner:
         self.memory_capacity = memory_capacity
         self.engine = get_engine(engine)
         self.tracer = ensure_tracer(tracer)
+        self.lattice = resolve_lattice(lattice)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         """Run the full breadth-first search over *database*."""
         started = time.perf_counter()
         scans_before = database.scan_count
         tracer = self.tracer
+        tracer.note("lattice", self.lattice)
 
         with tracer.phase("phase1-scan"):
             io_before = io_snapshot(database)
@@ -117,7 +126,8 @@ class LevelwiseMiner:
         level = 1
         while current and level < self.constraints.max_weight:
             candidates = generate_candidates(
-                current, frequent_symbols, self.constraints
+                current, frequent_symbols, self.constraints,
+                lattice=self.lattice, tracer=tracer,
             )
             if not candidates:
                 break
@@ -149,7 +159,7 @@ class LevelwiseMiner:
         elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
-            border=Border(frequent),
+            border=Border(frequent, lattice=self.lattice, tracer=tracer),
             scans=scans,
             elapsed_seconds=elapsed,
             level_stats=level_stats,

@@ -38,6 +38,7 @@ from ..core.lattice import (
     PatternConstraints,
     generate_candidates,
 )
+from ..core.latticekernels import resolve_lattice
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
@@ -74,6 +75,7 @@ class MaxMiner:
         collect_exact_matches: bool = True,
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
+        lattice: Optional[str] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -90,11 +92,13 @@ class MaxMiner:
         self.collect_exact_matches = collect_exact_matches
         self.engine = get_engine(engine)
         self.tracer = ensure_tracer(tracer)
+        self.lattice = resolve_lattice(lattice)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
         tracer = self.tracer
+        tracer.note("lattice", self.lattice)
 
         with tracer.phase("phase1-scan"):
             io_before = io_snapshot(database)
@@ -112,7 +116,7 @@ class MaxMiner:
             Pattern.single(d): float(symbol_match[d])
             for d in frequent_symbols
         }
-        maximal = Border(frequent)
+        maximal = Border(frequent, lattice=self.lattice, tracer=tracer)
         skipped: Set[Pattern] = set()  # frequent via look-ahead, not counted
         level_stats = [
             LevelStats(1, self.matrix.size, len(frequent_symbols))
@@ -123,7 +127,8 @@ class MaxMiner:
         probes_hit = 0
         while current and level < self.constraints.max_weight:
             candidates = generate_candidates(
-                current | skipped, frequent_symbols, self.constraints
+                current | skipped, frequent_symbols, self.constraints,
+                lattice=self.lattice, tracer=tracer,
             )
             if not candidates:
                 break
@@ -174,7 +179,7 @@ class MaxMiner:
         elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
-            border=Border(frequent),
+            border=Border(frequent, lattice=self.lattice, tracer=tracer),
             scans=scans,
             elapsed_seconds=elapsed,
             level_stats=level_stats,

@@ -27,6 +27,7 @@ import numpy as np
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints
+from ..core.latticekernels import resolve_lattice
 from ..core.match import symbol_matches_and_sample
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
@@ -98,6 +99,7 @@ class BorderCollapsingMiner:
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
         resident_sample: Optional[bool] = None,
+        lattice: Optional[str] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -117,6 +119,7 @@ class BorderCollapsingMiner:
         self.engine = get_engine(engine)
         self.tracer = ensure_tracer(tracer)
         self.resident_sample = resident_sample
+        self.lattice = resolve_lattice(lattice)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         """Run all three phases and return the discovered patterns.
@@ -130,6 +133,7 @@ class BorderCollapsingMiner:
         scans_before = database.scan_count
         tracer = self.tracer
         sample_size = min(self.sample_size, len(database))
+        tracer.note("lattice", self.lattice)
         tracer.note("requested_sample_size", self.sample_size)
         tracer.note("effective_sample_size", sample_size)
 
@@ -158,6 +162,7 @@ class BorderCollapsingMiner:
                 engine=self.engine,
                 tracer=tracer,
                 resident=self.resident_sample,
+                lattice=self.lattice,
             )
 
         # Phase 3 — border collapsing over the ambiguous band.
@@ -170,6 +175,7 @@ class BorderCollapsingMiner:
                 self.memory_capacity,
                 engine=self.engine,
                 tracer=tracer,
+                lattice=self.lattice,
             )
 
         frequent = self._assemble_frequent(classification, outcome.verified,

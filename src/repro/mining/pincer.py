@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints, generate_candidates
+from ..core.latticekernels import resolve_lattice
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..engine import EngineSpec, get_engine
@@ -58,6 +59,7 @@ class PincerMiner:
         collect_exact_matches: bool = True,
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
+        lattice: Optional[str] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -72,11 +74,13 @@ class PincerMiner:
         self.collect_exact_matches = collect_exact_matches
         self.engine = get_engine(engine)
         self.tracer = ensure_tracer(tracer)
+        self.lattice = resolve_lattice(lattice)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
         tracer = self.tracer
+        tracer.note("lattice", self.lattice)
 
         with tracer.phase("phase1-scan"):
             io_before = io_snapshot(database)
@@ -94,7 +98,7 @@ class PincerMiner:
             Pattern.single(d): float(symbol_match[d])
             for d in frequent_symbols
         }
-        maximal = Border(frequent)
+        maximal = Border(frequent, lattice=self.lattice, tracer=tracer)
         mfcs: Set[Pattern] = set()
         level_stats = [
             LevelStats(1, self.matrix.size, len(frequent_symbols))
@@ -105,7 +109,8 @@ class PincerMiner:
         mfcs_hits = 0
         while current and level < self.constraints.max_weight:
             candidates = generate_candidates(
-                current | skipped, frequent_symbols, self.constraints
+                current | skipped, frequent_symbols, self.constraints,
+                lattice=self.lattice, tracer=tracer,
             )
             if not candidates:
                 break
@@ -170,7 +175,7 @@ class PincerMiner:
         elapsed = time.perf_counter() - started
         return MiningResult(
             frequent=frequent,
-            border=Border(frequent),
+            border=Border(frequent, lattice=self.lattice, tracer=tracer),
             scans=scans,
             elapsed_seconds=elapsed,
             level_stats=level_stats,

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
 from ..core.lattice import PatternConstraints, generate_candidates
+from ..core.latticekernels import resolve_lattice
 from ..core.match import symbol_matches_and_sample
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
@@ -59,6 +60,7 @@ class ToivonenMiner:
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
         resident_sample: Optional[bool] = None,
+        lattice: Optional[str] = None,
     ):
         if not 0.0 < min_match <= 1.0:
             raise MiningError(f"min_match must lie in (0, 1], got {min_match}")
@@ -75,11 +77,13 @@ class ToivonenMiner:
         # Phase 2 option only: level-wise verification still runs on
         # self.engine (the full database is not pinned).
         self.resident_sample = resident_sample
+        self.lattice = resolve_lattice(lattice)
 
     def mine(self, database: AnySequenceDatabase) -> MiningResult:
         started = time.perf_counter()
         scans_before = database.scan_count
         tracer = self.tracer
+        tracer.note("lattice", self.lattice)
         tracer.note("requested_sample_size", self.sample_size)
         tracer.note(
             "effective_sample_size", min(self.sample_size, len(database))
@@ -106,6 +110,7 @@ class ToivonenMiner:
                 engine=self.engine,
                 tracer=tracer,
                 resident=self.resident_sample,
+                lattice=self.lattice,
             )
         to_verify: Dict[int, List[Pattern]] = {}
         for pattern, label in classification.labels.items():
@@ -136,7 +141,8 @@ class ToivonenMiner:
             # Apriori extension from the verified previous level, in case
             # the sample under-estimated the border.
             candidates |= generate_candidates(
-                current, frequent_symbols, self.constraints
+                current, frequent_symbols, self.constraints,
+                lattice=self.lattice, tracer=tracer,
             )
             candidates = {
                 c
@@ -168,7 +174,7 @@ class ToivonenMiner:
             )
             current = set(survivors)
 
-        border = Border(frequent)
+        border = Border(frequent, lattice=self.lattice, tracer=tracer)
         estimated_border = classification.fqt
         scans = database.scan_count - scans_before
         elapsed = time.perf_counter() - started

@@ -18,6 +18,7 @@ from __future__ import annotations
 from .report import PhaseReport, RunReport, phase_report_from_span
 from .tracer import (
     AMBIGUOUS_REMAINING,
+    CANDIDATE_GEN_SECONDS,
     CANDIDATES_GENERATED,
     FACTOR_CACHE_EVICTIONS,
     FACTOR_CACHE_HITS,
@@ -35,10 +36,13 @@ from .tracer import (
     RESIDENT_PLANE_BYTES,
     RESIDENT_PLANE_HITS,
     RESIDENT_PLANE_MISSES,
+    LATTICE_CANDIDATES,
     SAMPLE_PATTERNS_COUNTED,
     SAMPLE_SCANS,
     SCANS,
     SHARDS_DISPATCHED,
+    SUBSUMPTION_CHECKS,
+    SUBSUMPTION_SKIPPED,
     Span,
     Tracer,
     ensure_tracer,
@@ -48,6 +52,7 @@ from .tracer import (
 
 __all__ = [
     "AMBIGUOUS_REMAINING",
+    "CANDIDATE_GEN_SECONDS",
     "CANDIDATES_GENERATED",
     "FACTOR_CACHE_EVICTIONS",
     "FACTOR_CACHE_HITS",
@@ -57,6 +62,7 @@ __all__ = [
     "IO_CHUNKS",
     "IO_CHUNK_SECONDS",
     "IO_COUNTER_ATTRS",
+    "LATTICE_CANDIDATES",
     "NULL_TRACER",
     "NullTracer",
     "PATTERNS_COUNTED",
@@ -71,6 +77,8 @@ __all__ = [
     "SAMPLE_SCANS",
     "SCANS",
     "SHARDS_DISPATCHED",
+    "SUBSUMPTION_CHECKS",
+    "SUBSUMPTION_SKIPPED",
     "Span",
     "Tracer",
     "ensure_tracer",

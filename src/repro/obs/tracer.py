@@ -58,10 +58,15 @@ RESIDENT_PLANE_BYTES = "resident_plane_bytes"
 IO_BYTES_READ = "io_bytes_read"
 IO_CHUNKS = "io_chunks"
 IO_CHUNK_SECONDS = "io_chunk_seconds"
+SUBSUMPTION_CHECKS = "subsumption_checks"
+SUBSUMPTION_SKIPPED = "subsumption_skipped"
+LATTICE_CANDIDATES = "lattice_candidates"
+CANDIDATE_GEN_SECONDS = "candidate_gen_seconds"
 
 #: The disk-resident backends' lifetime I/O accumulators, in the order
-#: they are snapshotted.  ``io_chunk_seconds`` is a float counter — the
-#: one exception to the counters-are-integers rule.
+#: they are snapshotted.  ``io_chunk_seconds`` is a float counter —
+#: like ``candidate_gen_seconds``, an exception to the
+#: counters-are-integers rule.
 IO_COUNTER_ATTRS = (IO_BYTES_READ, IO_CHUNKS, IO_CHUNK_SECONDS)
 
 

@@ -52,6 +52,22 @@ class TestLayerSchedule:
         order = layer_schedule(0, 8)
         assert set(order[1:3]) == {2, 6}
 
+    def test_exact_order_pinned(self):
+        # Regression for the deque rewrite of the subdivision queue:
+        # the breadth-first probe order is part of the algorithm's
+        # observable behaviour (it decides which layers fill memory
+        # first), so pin it exactly.
+        assert layer_schedule(0, 5) == [3, 1, 4, 2, 5]
+        assert layer_schedule(0, 8) == [4, 2, 6, 1, 3, 5, 7, 8]
+        assert layer_schedule(2, 9) == [6, 4, 8, 3, 5, 7, 9]
+        assert layer_schedule(0, 1) == [1]
+
+    def test_wide_range_is_fast_and_complete(self):
+        # The old list.pop(0) queue made wide ranges quadratic; the
+        # deque keeps them linear.  Correctness check on a wide range.
+        order = layer_schedule(0, 2000)
+        assert sorted(order) == list(range(1, 2001))
+
 
 class TestSelectProbeBatch:
     def test_prefers_halfway_weight(self):
