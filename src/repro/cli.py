@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the full workflow on text sequence files
+Six subcommands cover the full workflow on text sequence files
 (the ``<id> TAB <space-separated symbol indices>`` format of
 :meth:`repro.core.sequence.SequenceDatabase.save`):
 
@@ -12,11 +12,20 @@ Three subcommands cover the full workflow on text sequence files
   packed binary store (``.nmp``), which memory-maps on open and scans
   an order of magnitude faster;
 * ``noisymine evaluate`` — compare two mining runs (e.g. match model on
-  noisy data vs support model on clean data) by accuracy/completeness.
+  noisy data vs support model on clean data) by accuracy/completeness;
+* ``noisymine serve`` — run the long-lived mining daemon (HTTP job
+  queue with warm store/engine/sample state across jobs);
+* ``noisymine submit`` — submit one mining job to a running daemon and
+  wait for the result.
 
 ``noisymine mine`` accepts either representation: ``--store auto`` (the
 default) sniffs the packed magic bytes, so a converted store is a
 drop-in replacement for the text file it came from.
+
+Flag/environment resolution lives in :class:`repro.config.MiningConfig`
+— ``mine`` and ``submit`` share the exact same precedence (flag >
+``NOISYMINE_*`` env > default) and the exact same result payload shape
+(:func:`repro.config.json_payload`).
 """
 
 from __future__ import annotations
@@ -29,25 +38,105 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .core.compatibility import CompatibilityMatrix
-from .core.lattice import PatternConstraints
-from .core.latticekernels import LATTICE_MODES, resolve_lattice
+from .config import MiningConfig, json_payload, open_database
+from .core.latticekernels import LATTICE_MODES
 from .core.pattern import Pattern
 from .core.sequence import FileSequenceDatabase
 from .datagen.motifs import Motif, random_motif
-from .engine import available_engines, get_engine
+from .engine import available_engines
 from .datagen.noise import corrupt_uniform
 from .datagen.synthetic import generate_database
 from .errors import NoisyMineError
 from .eval.metrics import quality
 from .io import PackedSequenceStore, is_packed_store
-from .mining.depthfirst import DepthFirstMiner
-from .mining.levelwise import LevelwiseMiner
-from .mining.maxminer import MaxMiner
-from .mining.miner import BorderCollapsingMiner
-from .mining.pincer import PincerMiner
-from .mining.toivonen import ToivonenMiner
 from .obs import Tracer
+
+
+def _add_mining_options(parser: argparse.ArgumentParser) -> None:
+    """Mining-run flags shared by ``mine`` and ``submit``.
+
+    One flag set, one resolution rule: the parsed values feed
+    :meth:`repro.config.MiningConfig.resolve`, so both subcommands
+    honour the same ``NOISYMINE_*`` environment fallbacks.
+    """
+    parser.add_argument("--alphabet", type=int, default=None,
+                        help="number of distinct symbols m "
+                             "(required for text format)")
+    parser.add_argument("--min-match", type=float, required=True)
+    parser.add_argument(
+        "--algorithm",
+        choices=[
+            "border-collapsing", "levelwise", "maxminer", "toivonen",
+            "pincer", "depthfirst",
+        ],
+        default="border-collapsing",
+    )
+    parser.add_argument(
+        "--noise", type=float, default=0.0,
+        help="uniform noise level used to build the compatibility matrix "
+             "(0 = identity matrix = classical support)",
+    )
+    parser.add_argument("--sample-size", type=int, default=None)
+    parser.add_argument("--delta", type=float, default=1e-4)
+    parser.add_argument("--max-weight", type=int, default=8)
+    parser.add_argument("--max-span", type=int, default=10)
+    parser.add_argument("--max-gap", type=int, default=0)
+    parser.add_argument("--memory-capacity", type=int, default=None)
+    parser.add_argument(
+        "--engine",
+        choices=available_engines(),
+        default=None,
+        help="match-execution backend: 'reference' (per-sequence loops), "
+             "'vectorized' (batched numpy kernels + factor cache), or "
+             "'parallel' (multiprocessing shards); results and scan "
+             "counts are identical across backends "
+             "(default: $NOISYMINE_ENGINE, else 'reference')",
+    )
+    parser.add_argument(
+        "--lattice",
+        choices=list(LATTICE_MODES),
+        default=None,
+        help="lattice execution mode: 'kernel' (packed numpy batch "
+             "kernels for candidate generation, signature-indexed "
+             "border/subsumption checks) or 'reference' (the original "
+             "pure-Python lattice paths); borders, labels and scan "
+             "counts are identical in both modes "
+             "(default: $NOISYMINE_LATTICE, else 'kernel')",
+    )
+    parser.add_argument(
+        "--resident-sample",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="run Phase 2 (sample classification) with the resident "
+             "evaluator, which pins the sample once and extends candidate "
+             "score planes incrementally; results and scan counts are "
+             "identical, only Phase-2 wall-clock changes; applies to the "
+             "sampling algorithms (border-collapsing, toivonen) "
+             "(default: $NOISYMINE_RESIDENT, else off)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _config_from_args(args: argparse.Namespace) -> MiningConfig:
+    """Resolve the shared mining flags (flag > NOISYMINE_* env >
+    default) into a canonical :class:`MiningConfig`."""
+    return MiningConfig.resolve(
+        min_match=args.min_match,
+        algorithm=args.algorithm,
+        alphabet=args.alphabet,
+        noise=args.noise,
+        sample_size=args.sample_size,
+        delta=args.delta,
+        max_weight=args.max_weight,
+        max_span=args.max_span,
+        max_gap=args.max_gap,
+        memory_capacity=args.memory_capacity,
+        seed=args.seed,
+        engine=args.engine,
+        lattice=args.lattice,
+        resident_sample=args.resident_sample,
+        store=getattr(args, "store", None),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,9 +182,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="input format: the library's text format, or FASTA "
              "(20-letter amino-acid alphabet, implies --alphabet 20)",
     )
-    mine.add_argument("--alphabet", type=int, default=None,
-                      help="number of distinct symbols m "
-                           "(required for text format)")
     mine.add_argument(
         "--store",
         choices=["auto", "text", "packed"],
@@ -107,59 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
              "identical either way "
              "(default: $NOISYMINE_STORE, else 'auto')",
     )
-    mine.add_argument("--min-match", type=float, required=True)
-    mine.add_argument(
-        "--algorithm",
-        choices=[
-            "border-collapsing", "levelwise", "maxminer", "toivonen",
-            "pincer", "depthfirst",
-        ],
-        default="border-collapsing",
-    )
-    mine.add_argument(
-        "--noise", type=float, default=0.0,
-        help="uniform noise level used to build the compatibility matrix "
-             "(0 = identity matrix = classical support)",
-    )
-    mine.add_argument("--sample-size", type=int, default=None)
-    mine.add_argument("--delta", type=float, default=1e-4)
-    mine.add_argument("--max-weight", type=int, default=8)
-    mine.add_argument("--max-span", type=int, default=10)
-    mine.add_argument("--max-gap", type=int, default=0)
-    mine.add_argument("--memory-capacity", type=int, default=None)
-    mine.add_argument(
-        "--engine",
-        choices=available_engines(),
-        default=None,
-        help="match-execution backend: 'reference' (per-sequence loops), "
-             "'vectorized' (batched numpy kernels + factor cache), or "
-             "'parallel' (multiprocessing shards); results and scan "
-             "counts are identical across backends "
-             "(default: $NOISYMINE_ENGINE, else 'reference')",
-    )
-    mine.add_argument(
-        "--lattice",
-        choices=list(LATTICE_MODES),
-        default=None,
-        help="lattice execution mode: 'kernel' (packed numpy batch "
-             "kernels for candidate generation, signature-indexed "
-             "border/subsumption checks) or 'reference' (the original "
-             "pure-Python lattice paths); borders, labels and scan "
-             "counts are identical in both modes "
-             "(default: $NOISYMINE_LATTICE, else 'kernel')",
-    )
-    mine.add_argument(
-        "--resident-sample",
-        action=argparse.BooleanOptionalAction,
-        default=None,
-        help="run Phase 2 (sample classification) with the resident "
-             "evaluator, which pins the sample once and extends candidate "
-             "score planes incrementally; results and scan counts are "
-             "identical, only Phase-2 wall-clock changes; applies to the "
-             "sampling algorithms (border-collapsing, toivonen) "
-             "(default: $NOISYMINE_RESIDENT, else off)",
-    )
-    mine.add_argument("--seed", type=int, default=None)
+    _add_mining_options(mine)
     mine.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of a table "
@@ -169,6 +203,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json", default=None, metavar="PATH",
         help="also write the run's structured RunReport (per-phase spans, "
              "scan/cache/shard counters) to PATH as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the mining service daemon (HTTP job queue with warm "
+             "store/engine/sample state across jobs)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port to listen on (0 picks a free port)")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads draining the job queue; jobs on different "
+             "stores run concurrently (default: 2)",
+    )
+    serve.add_argument(
+        "--store-capacity", type=int, default=4,
+        help="packed stores kept memory-mapped at once (LRU, default: 4)",
+    )
+    serve.add_argument(
+        "--memo-entries", type=int, default=128,
+        help="memoized job results kept (LRU, default: 128)",
+    )
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one mining job to a running daemon and print the "
+             "result",
+    )
+    submit.add_argument(
+        "input",
+        help="packed-store path, resolved on the daemon's filesystem",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="base URL of the daemon (default: http://127.0.0.1:8765)",
+    )
+    _add_mining_options(submit)
+    submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds to wait for the job to finish (default: 300)",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="emit the full result document as JSON instead of a table",
     )
 
     conv = sub.add_parser(
@@ -208,6 +289,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_convert(args)
         if args.command == "evaluate":
             return _cmd_evaluate(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
     except (NoisyMineError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -240,24 +325,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_store(args: argparse.Namespace) -> str:
-    """The effective --store choice: flag, else $NOISYMINE_STORE, else auto."""
-    store = args.store
-    if store is None:
-        store = os.environ.get("NOISYMINE_STORE", "").strip() or "auto"
-    if store not in ("auto", "text", "packed"):
-        raise NoisyMineError(
-            f"invalid NOISYMINE_STORE value {store!r}: "
-            "expected 'auto', 'text' or 'packed'"
-        )
-    return store
-
-
 def _cmd_mine(args: argparse.Namespace) -> int:
-    store = _resolve_store(args)
+    # All flag/env resolution happens here, in one shot: a bad
+    # NOISYMINE_* value fails loudly before any file is opened.
+    config = _config_from_args(args)
     if args.format == "fasta":
-        if store == "packed" or (store == "auto"
-                                 and is_packed_store(args.input)):
+        if config.store == "packed" or (config.store == "auto"
+                                        and is_packed_store(args.input)):
             raise NoisyMineError(
                 "--format fasta cannot be combined with a packed store; "
                 "convert the FASTA file to text first, then to packed"
@@ -265,80 +339,17 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         from .datagen.fasta import read_fasta
 
         database, _headers = read_fasta(args.input)
-        alphabet_size = 20
+        config = config.with_overrides(alphabet=20)
     else:
-        if args.alphabet is None:
+        if config.alphabet is None:
             raise NoisyMineError(
                 "--alphabet is required for the text input format"
             )
-        if store == "auto":
-            store = "packed" if is_packed_store(args.input) else "text"
-        if store == "packed":
-            database = PackedSequenceStore.open(args.input)
-        else:
-            database = FileSequenceDatabase(args.input)
-        alphabet_size = args.alphabet
-    if args.noise > 0:
-        matrix = CompatibilityMatrix.uniform_noise(alphabet_size, args.noise)
-    else:
-        matrix = CompatibilityMatrix.identity(alphabet_size)
-    constraints = PatternConstraints(
-        max_weight=args.max_weight,
-        max_span=args.max_span,
-        max_gap=args.max_gap,
-    )
-    rng = np.random.default_rng(args.seed)
-    sample_size = args.sample_size or max(1, len(database) // 4)
-    # Resolve once so --engine omitted honours $NOISYMINE_ENGINE (and an
-    # invalid variable fails loudly instead of silently running the
-    # default backend).
-    engine = get_engine(args.engine)
-    # Same early resolution for the lattice mode: --lattice omitted
-    # honours $NOISYMINE_LATTICE, and a bad value fails loudly here
-    # rather than deep inside a miner.
-    lattice = resolve_lattice(args.lattice)
+        database = open_database(args.input, config.store)
     # A live tracer costs a few dict updates per scan; only pay for it
     # when some output will actually carry the metrics.
     tracer = Tracer() if (args.json or args.metrics_json) else None
-    if args.algorithm == "border-collapsing":
-        miner = BorderCollapsingMiner(
-            matrix, args.min_match, sample_size=sample_size,
-            delta=args.delta, constraints=constraints,
-            memory_capacity=args.memory_capacity, rng=rng, engine=engine,
-            tracer=tracer, resident_sample=args.resident_sample,
-            lattice=lattice,
-        )
-    elif args.algorithm == "levelwise":
-        miner = LevelwiseMiner(
-            matrix, args.min_match, constraints=constraints,
-            memory_capacity=args.memory_capacity, engine=engine,
-            tracer=tracer, lattice=lattice,
-        )
-    elif args.algorithm == "maxminer":
-        miner = MaxMiner(
-            matrix, args.min_match, constraints=constraints,
-            memory_capacity=args.memory_capacity, engine=engine,
-            tracer=tracer, lattice=lattice,
-        )
-    elif args.algorithm == "pincer":
-        miner = PincerMiner(
-            matrix, args.min_match, constraints=constraints,
-            memory_capacity=args.memory_capacity, engine=engine,
-            tracer=tracer, lattice=lattice,
-        )
-    elif args.algorithm == "depthfirst":
-        miner = DepthFirstMiner(
-            matrix, args.min_match, constraints=constraints, engine=engine,
-            tracer=tracer, lattice=lattice,
-        )
-    else:
-        miner = ToivonenMiner(
-            matrix, args.min_match, sample_size=sample_size,
-            delta=args.delta, constraints=constraints,
-            memory_capacity=args.memory_capacity, rng=rng, engine=engine,
-            tracer=tracer, resident_sample=args.resident_sample,
-            lattice=lattice,
-        )
+    miner = config.build_miner(len(database), tracer=tracer)
     result = miner.mine(database)
     if args.metrics_json:
         if result.report is None:  # pragma: no cover - defensive
@@ -350,16 +361,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             json.dump(result.report.to_dict(), handle, indent=2)
             handle.write("\n")
     if args.json:
-        payload = {
-            "algorithm": args.algorithm,
-            "engine": engine.name,
-            "lattice": lattice,
-            "min_match": args.min_match,
-            **result.to_dict(),
-        }
-        # Keep the historical key for downstream consumers.
-        payload["patterns"] = payload.pop("frequent")
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(json_payload(config, result), indent=2))
     else:
         print(result.summary())
         for pattern in sorted(result.frequent):
@@ -367,6 +369,50 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                   f"match={result.frequent[pattern]:.4f}")
         if args.metrics_json:
             print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import MiningServer, MiningService
+
+    service = MiningService(
+        workers=args.workers,
+        store_capacity=args.store_capacity,
+        memo_entries=args.memo_entries,
+    )
+    with MiningServer(
+        host=args.host, port=args.port, service=service,
+        verbose=not args.quiet,
+    ) as server:
+        host, port = server.address
+        print(f"noisymine daemon listening on http://{host}:{port}",
+              flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    config = _config_from_args(args)
+    client = ServiceClient(args.url)
+    job = client.submit(config.to_dict(), store=os.path.abspath(args.input))
+    doc = client.wait(job["id"], timeout=args.timeout)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    payload = doc["result"]
+    patterns = payload["patterns"]
+    memo = " (memoized)" if doc.get("memo_hit") else ""
+    print(
+        f"job {doc['id']}: {len(patterns)} frequent patterns "
+        f"({payload['algorithm']}, min_match={payload['min_match']}){memo}"
+    )
+    for text in sorted(patterns):
+        print(f"  {text:30s} match={patterns[text]:.4f}")
     return 0
 
 

@@ -1,0 +1,439 @@
+"""Canonical mining-run configuration shared by CLI, daemon and harness.
+
+Before the service existed, flag/env resolution lived inline in the
+CLI: ``_cmd_mine`` resolved ``--engine`` against ``NOISYMINE_ENGINE``,
+``--lattice`` against ``NOISYMINE_LATTICE``, ``--resident-sample``
+against ``NOISYMINE_RESIDENT`` and ``--store`` against
+``NOISYMINE_STORE``, each with its own precedence code.  A long-lived
+daemon needs the same resolution for jobs that arrive over HTTP — and a
+*canonical* serialised form, because result memoization keys on "the
+same configuration".  :class:`MiningConfig` is that single source of
+truth:
+
+* :meth:`MiningConfig.resolve` applies the one precedence rule
+  (explicit value > ``NOISYMINE_*`` environment variable > default) and
+  fails loudly on a bad environment value, exactly as the CLI always
+  has;
+* :meth:`MiningConfig.to_key` is the canonical string the daemon's
+  result memo keys on (semantic fields only — engine/lattice/resident
+  are execution knobs that never change results, which the equivalence
+  suites pin, so memo hits deliberately cross them);
+* :meth:`MiningConfig.build_miner` constructs the configured miner, the
+  code that previously lived as a six-way branch in ``_cmd_mine``.
+
+Wire form: :meth:`to_dict` / :meth:`from_dict` round-trip the config as
+plain JSON types; unknown keys are rejected loudly so a typo in a job
+payload cannot silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .core.compatibility import CompatibilityMatrix
+from .core.lattice import PatternConstraints
+from .core.latticekernels import LATTICE_MODES, resolve_lattice
+from .core.sequence import FileSequenceDatabase
+from .engine import MatchEngine, get_engine, resolve_engine_name
+from .engine.resident import ResidentSampleEvaluator, resident_from_env
+from .errors import MiningError, NoisyMineError
+from .io import PackedSequenceStore, is_packed_store
+from .mining.depthfirst import DepthFirstMiner
+from .mining.levelwise import LevelwiseMiner
+from .mining.maxminer import MaxMiner
+from .mining.miner import BorderCollapsingMiner
+from .mining.pincer import PincerMiner
+from .mining.toivonen import ToivonenMiner
+from .obs import Tracer
+
+#: Environment variable selecting the on-disk store representation.
+STORE_ENV_VAR = "NOISYMINE_STORE"
+
+STORE_MODES = ("auto", "text", "packed")
+
+#: All six miners, in the CLI's historical choice order.
+ALGORITHMS = (
+    "border-collapsing",
+    "levelwise",
+    "maxminer",
+    "toivonen",
+    "pincer",
+    "depthfirst",
+)
+
+#: Miners whose result depends on the sampling RNG stream.  The others
+#: are fully deterministic for a given database and config, seed or no
+#: seed — which is what decides memoizability below.
+SAMPLING_ALGORITHMS = frozenset({"border-collapsing", "toivonen"})
+
+
+def resolve_store_mode(spec: Optional[str] = None) -> str:
+    """The effective store choice: explicit value, else
+    ``$NOISYMINE_STORE``, else ``auto`` — bad values fail loudly."""
+    if spec is None:
+        spec = os.environ.get(STORE_ENV_VAR, "").strip() or "auto"
+    if spec not in STORE_MODES:
+        raise NoisyMineError(
+            f"invalid {STORE_ENV_VAR} value {spec!r}: "
+            "expected 'auto', 'text' or 'packed'"
+        )
+    return spec
+
+
+def open_database(
+    path: Union[str, os.PathLike], store: str = "auto"
+) -> Union[PackedSequenceStore, FileSequenceDatabase]:
+    """Open *path* under one of the :data:`STORE_MODES`.
+
+    ``auto`` sniffs the packed magic bytes; results are identical
+    across representations, only scan throughput differs.
+    """
+    if store not in STORE_MODES:
+        raise NoisyMineError(
+            f"invalid store mode {store!r}: expected one of "
+            f"{', '.join(STORE_MODES)}"
+        )
+    if store == "auto":
+        store = "packed" if is_packed_store(path) else "text"
+    if store == "packed":
+        return PackedSequenceStore.open(path)
+    return FileSequenceDatabase(path)
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """One mining run's full configuration, resolved and canonical.
+
+    Semantic fields (they change the mined result): ``algorithm``,
+    ``min_match``, ``alphabet``, ``noise``, ``matrix``, ``sample_size``,
+    ``delta``, ``max_weight``, ``max_span``, ``max_gap``,
+    ``memory_capacity``, ``seed``.  Execution fields (bit-identical
+    results, different throughput): ``engine``, ``lattice``,
+    ``resident_sample``, ``store``.
+
+    Instances are immutable and hashable; construct through
+    :meth:`resolve` (which applies flag > env > default precedence) or
+    :meth:`from_dict` (the wire form).
+    """
+
+    min_match: float
+    algorithm: str = "border-collapsing"
+    alphabet: Optional[int] = None
+    noise: float = 0.0
+    #: Inline compatibility-matrix rows (column-stochastic, as accepted
+    #: by :class:`CompatibilityMatrix`); overrides ``noise``/``alphabet``
+    #: as the matrix spec when given.
+    matrix: Optional[Tuple[Tuple[float, ...], ...]] = None
+    sample_size: Optional[int] = None
+    delta: float = 1e-4
+    max_weight: int = 8
+    max_span: int = 10
+    max_gap: int = 0
+    memory_capacity: Optional[int] = None
+    seed: Optional[int] = None
+    engine: str = "reference"
+    lattice: str = "kernel"
+    resident_sample: bool = False
+    store: str = "auto"
+
+    def __post_init__(self):
+        if self.algorithm not in ALGORITHMS:
+            raise MiningError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"expected one of: {', '.join(ALGORITHMS)}"
+            )
+        if not 0.0 < self.min_match <= 1.0:
+            raise MiningError(
+                f"min_match must lie in (0, 1], got {self.min_match}"
+            )
+        if self.matrix is not None:
+            frozen = tuple(tuple(float(v) for v in row)
+                           for row in self.matrix)
+            object.__setattr__(self, "matrix", frozen)
+        elif self.alphabet is not None and self.alphabet < 1:
+            raise MiningError(
+                f"alphabet size must be >= 1, got {self.alphabet}"
+            )
+        if self.lattice not in LATTICE_MODES:
+            raise MiningError(
+                f"unknown lattice mode {self.lattice!r}; "
+                f"expected one of: {', '.join(LATTICE_MODES)}"
+            )
+        if self.store not in STORE_MODES:
+            raise NoisyMineError(
+                f"invalid store mode {self.store!r}: expected one of "
+                f"{', '.join(STORE_MODES)}"
+            )
+
+    # -- resolution -----------------------------------------------------------
+
+    @classmethod
+    def resolve(
+        cls,
+        min_match: float,
+        algorithm: Optional[str] = None,
+        alphabet: Optional[int] = None,
+        noise: float = 0.0,
+        matrix: Optional[Sequence[Sequence[float]]] = None,
+        sample_size: Optional[int] = None,
+        delta: float = 1e-4,
+        max_weight: int = 8,
+        max_span: int = 10,
+        max_gap: int = 0,
+        memory_capacity: Optional[int] = None,
+        seed: Optional[int] = None,
+        engine: Optional[str] = None,
+        lattice: Optional[str] = None,
+        resident_sample: Optional[bool] = None,
+        store: Optional[str] = None,
+    ) -> "MiningConfig":
+        """Build a config with flag > environment > default precedence.
+
+        ``None`` for an execution field consults its ``NOISYMINE_*``
+        environment variable (``NOISYMINE_ENGINE``,
+        ``NOISYMINE_LATTICE``, ``NOISYMINE_RESIDENT``,
+        ``NOISYMINE_STORE``) and falls back to the library default; a
+        malformed environment value raises instead of silently running
+        the default — the CLI's historical contract, now shared by the
+        daemon and the eval harness.
+        """
+        return cls(
+            min_match=min_match,
+            algorithm=algorithm or "border-collapsing",
+            alphabet=alphabet,
+            noise=noise,
+            matrix=None if matrix is None else tuple(
+                tuple(float(v) for v in row) for row in matrix
+            ),
+            sample_size=sample_size,
+            delta=delta,
+            max_weight=max_weight,
+            max_span=max_span,
+            max_gap=max_gap,
+            memory_capacity=memory_capacity,
+            seed=seed,
+            engine=resolve_engine_name(engine),
+            lattice=resolve_lattice(lattice),
+            resident_sample=(
+                resident_from_env() if resident_sample is None
+                else bool(resident_sample)
+            ),
+            store=resolve_store_mode(store),
+        )
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def alphabet_size(self) -> int:
+        """Alphabet size m, from the inline matrix when one is given."""
+        if self.matrix is not None:
+            return len(self.matrix)
+        if self.alphabet is None:
+            raise MiningError(
+                "no alphabet size: set alphabet= or provide an inline "
+                "compatibility matrix"
+            )
+        return self.alphabet
+
+    def build_matrix(self) -> CompatibilityMatrix:
+        """The run's compatibility matrix: inline rows if given, else
+        uniform noise at ``noise`` (identity when ``noise == 0``)."""
+        if self.matrix is not None:
+            return CompatibilityMatrix(self.matrix)
+        m = self.alphabet_size
+        if self.noise > 0:
+            return CompatibilityMatrix.uniform_noise(m, self.noise)
+        return CompatibilityMatrix.identity(m)
+
+    def constraints(self) -> PatternConstraints:
+        return PatternConstraints(
+            max_weight=self.max_weight,
+            max_span=self.max_span,
+            max_gap=self.max_gap,
+        )
+
+    def effective_sample_size(self, n_sequences: int) -> int:
+        """The Phase-2 sample size: explicit, else the CLI's historical
+        ``max(1, N // 4)`` default."""
+        return self.sample_size or max(1, n_sequences // 4)
+
+    def build_miner(
+        self,
+        n_sequences: int,
+        engine: Union[None, str, MatchEngine] = None,
+        tracer: Optional[Tracer] = None,
+        resident: Optional[ResidentSampleEvaluator] = None,
+    ):
+        """Construct the configured miner (the six-way dispatch that
+        used to live in the CLI).
+
+        *engine* overrides the configured backend with a live instance
+        — the daemon passes per-store engines so concurrent jobs never
+        share caches; *resident* likewise passes a warm
+        :class:`ResidentSampleEvaluator` kept pinned across jobs.
+        """
+        matrix = self.build_matrix()
+        constraints = self.constraints()
+        engine = get_engine(engine if engine is not None else self.engine)
+        common = dict(
+            constraints=constraints, engine=engine, tracer=tracer,
+            lattice=self.lattice,
+        )
+        if self.algorithm in SAMPLING_ALGORITHMS:
+            resident_spec: Union[None, bool, ResidentSampleEvaluator]
+            if resident is not None and self.resident_sample:
+                resident_spec = resident
+            else:
+                resident_spec = self.resident_sample
+            cls = (
+                BorderCollapsingMiner
+                if self.algorithm == "border-collapsing"
+                else ToivonenMiner
+            )
+            return cls(
+                matrix, self.min_match,
+                sample_size=self.effective_sample_size(n_sequences),
+                delta=self.delta,
+                memory_capacity=self.memory_capacity,
+                rng=np.random.default_rng(self.seed),
+                resident_sample=resident_spec,
+                **common,
+            )
+        if self.algorithm == "levelwise":
+            return LevelwiseMiner(
+                matrix, self.min_match,
+                memory_capacity=self.memory_capacity, **common,
+            )
+        if self.algorithm == "maxminer":
+            return MaxMiner(
+                matrix, self.min_match,
+                memory_capacity=self.memory_capacity, **common,
+            )
+        if self.algorithm == "pincer":
+            return PincerMiner(
+                matrix, self.min_match,
+                memory_capacity=self.memory_capacity, **common,
+            )
+        return DepthFirstMiner(matrix, self.min_match, **common)
+
+    # -- canonical forms ------------------------------------------------------
+
+    @property
+    def memoizable(self) -> bool:
+        """True when an identical resubmission is guaranteed to produce
+        an identical result: deterministic miners always, sampling
+        miners only under a fixed seed."""
+        return (
+            self.algorithm not in SAMPLING_ALGORITHMS
+            or self.seed is not None
+        )
+
+    def to_key(self) -> str:
+        """Canonical memoization key over the **semantic** fields.
+
+        Execution knobs (engine, lattice, resident, store) are excluded
+        on purpose: every backend combination is pinned bit-identical
+        by the equivalence suites, so a vectorized rerun of a job first
+        mined with the reference engine is a legitimate memo hit.
+        """
+        payload = {
+            "algorithm": self.algorithm,
+            "min_match": self.min_match,
+            "alphabet": None if self.matrix is not None else self.alphabet,
+            "noise": None if self.matrix is not None else self.noise,
+            "matrix": self.matrix,
+            "sample_size": self.sample_size,
+            "delta": self.delta,
+            "max_weight": self.max_weight,
+            "max_span": self.max_span,
+            "max_gap": self.max_gap,
+            "memory_capacity": self.memory_capacity,
+            "seed": self.seed,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable wire form (inverse of :meth:`from_dict`)."""
+        return {
+            "min_match": self.min_match,
+            "algorithm": self.algorithm,
+            "alphabet": self.alphabet,
+            "noise": self.noise,
+            "matrix": (
+                None if self.matrix is None
+                else [list(row) for row in self.matrix]
+            ),
+            "sample_size": self.sample_size,
+            "delta": self.delta,
+            "max_weight": self.max_weight,
+            "max_span": self.max_span,
+            "max_gap": self.max_gap,
+            "memory_capacity": self.memory_capacity,
+            "seed": self.seed,
+            "engine": self.engine,
+            "lattice": self.lattice,
+            "resident_sample": self.resident_sample,
+            "store": self.store,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MiningConfig":
+        """Rebuild a config from its wire form.
+
+        Omitted fields resolve through :meth:`resolve` in the *current*
+        process environment (the daemon's, for jobs over HTTP); unknown
+        keys are rejected loudly so payload typos cannot silently mine
+        with a default.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise NoisyMineError(
+                f"unknown config keys: {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(sorted(known))}"
+            )
+        if "min_match" not in payload:
+            raise NoisyMineError("config requires min_match")
+        return cls.resolve(**dict(payload))
+
+    def with_overrides(self, **changes) -> "MiningConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+
+def json_payload(
+    config: MiningConfig, result, engine_name: Optional[str] = None
+) -> Dict[str, object]:
+    """The machine-readable result payload of one mining run.
+
+    This is the exact shape ``noisymine mine --json`` has always
+    printed (``frequent`` renamed to the historical ``patterns`` key);
+    the daemon builds its job results through the same function, which
+    is what makes "service result == CLI result" true by construction.
+    """
+    payload: Dict[str, object] = {
+        "algorithm": config.algorithm,
+        "engine": engine_name or config.engine,
+        "lattice": config.lattice,
+        "min_match": config.min_match,
+        **result.to_dict(),
+    }
+    payload["patterns"] = payload.pop("frequent")
+    return payload
+
+
+__all__ = [
+    "ALGORITHMS",
+    "MiningConfig",
+    "SAMPLING_ALGORITHMS",
+    "STORE_ENV_VAR",
+    "STORE_MODES",
+    "json_payload",
+    "open_database",
+    "resolve_store_mode",
+]

@@ -28,8 +28,10 @@ from .base import (
     EngineSpec,
     MatchEngine,
     available_engines,
+    create_engine,
     get_engine,
     register_engine,
+    resolve_engine_name,
 )
 from .parallel import (
     ParallelEngine,
@@ -64,8 +66,10 @@ __all__ = [
     "VectorizedBatchEngine",
     "WORKERS_ENV_VAR",
     "available_engines",
+    "create_engine",
     "get_engine",
     "register_engine",
     "resident_from_env",
+    "resolve_engine_name",
     "resolve_worker_count",
 ]

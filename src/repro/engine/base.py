@@ -192,6 +192,40 @@ def available_engines() -> List[str]:
     return sorted(_FACTORIES)
 
 
+def resolve_engine_name(spec: Union[None, str] = None) -> str:
+    """Resolve an optional engine *name* without instantiating anything.
+
+    ``None`` falls back to the ``NOISYMINE_ENGINE`` environment
+    variable, then to ``"reference"``; an unregistered name (from
+    either source) fails loudly.  This is the name-level half of
+    :func:`get_engine`, shared by :class:`repro.config.MiningConfig` so
+    the CLI, the daemon and the eval harness agree on precedence.
+    """
+    if spec is None:
+        spec = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE_NAME
+    if not isinstance(spec, str):
+        raise MiningError(
+            f"engine must be a backend name, got {spec!r}"
+        )
+    if spec not in _FACTORIES:
+        raise MiningError(
+            f"unknown match engine {spec!r}; "
+            f"available engines: {', '.join(available_engines())}"
+        )
+    return spec
+
+
+def create_engine(spec: Union[None, str] = None) -> MatchEngine:
+    """Build a **fresh, unshared** backend instance.
+
+    Unlike :func:`get_engine` this never touches the process-wide
+    instance cache: the daemon gives each warm store-cache entry its
+    own engines so concurrent jobs on different stores never share a
+    factor cache or worker pool.
+    """
+    return _FACTORIES[resolve_engine_name(spec)]()
+
+
 def get_engine(spec: EngineSpec = None) -> MatchEngine:
     """Resolve an engine specification to a live backend.
 
@@ -204,20 +238,10 @@ def get_engine(spec: EngineSpec = None) -> MatchEngine:
     """
     if isinstance(spec, MatchEngine):
         return spec
-    if spec is None:
-        spec = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE_NAME
-    if not isinstance(spec, str):
-        raise MiningError(
-            f"engine must be a backend name or MatchEngine, got {spec!r}"
-        )
-    if spec not in _FACTORIES:
-        raise MiningError(
-            f"unknown match engine {spec!r}; "
-            f"available engines: {', '.join(available_engines())}"
-        )
-    if spec not in _INSTANCES:
-        _INSTANCES[spec] = _FACTORIES[spec]()
-    return _INSTANCES[spec]
+    name = resolve_engine_name(spec)
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
 
 
 def unique_patterns(patterns: Iterable[Pattern]) -> List[Pattern]:
@@ -254,8 +278,10 @@ __all__ = [
     "EngineSpec",
     "MatchEngine",
     "available_engines",
+    "create_engine",
     "get_engine",
     "matrix_fingerprint",
     "register_engine",
+    "resolve_engine_name",
     "unique_patterns",
 ]

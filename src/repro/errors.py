@@ -45,3 +45,8 @@ class MiningError(NoisyMineError):
 
 class SamplingError(NoisyMineError):
     """A sampling request cannot be satisfied (e.g. more samples than rows)."""
+
+
+class ServiceError(NoisyMineError):
+    """A mining-service request failed (bad job payload, unknown job,
+    unreachable daemon, or a job that finished in error)."""

@@ -19,6 +19,7 @@ from .packed import (
     STORE_VERSION,
     PackedSequenceStore,
     is_packed_store,
+    peek_store_digest,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "SequenceChunk",
     "is_packed_store",
     "iter_chunks",
+    "peek_store_digest",
 ]

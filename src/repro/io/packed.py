@@ -80,6 +80,44 @@ def is_packed_store(path: Union[str, os.PathLike]) -> bool:
         return False
 
 
+def peek_store_digest(path: Union[str, os.PathLike]) -> str:
+    """The hex content digest from a packed store's header, by reading
+    64 bytes — no mapping, no payload validation.
+
+    This is what lets a warm store cache recognise "same content,
+    already open" without re-opening anything.  Raises
+    :class:`SequenceDatabaseError` on a missing file, short header,
+    foreign magic or unsupported version — the same failures
+    :meth:`PackedSequenceStore.open` would report.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read(HEADER_BYTES)
+    except OSError as exc:
+        raise SequenceDatabaseError(
+            f"cannot read packed store {path}: {exc}"
+        ) from exc
+    if len(raw) < HEADER_BYTES:
+        raise SequenceDatabaseError(
+            f"{path}: truncated packed store header "
+            f"({len(raw)} bytes, need {HEADER_BYTES})"
+        )
+    magic, version, _reserved, _n, _total, _max_symbol, digest = (
+        _HEADER.unpack(raw)
+    )
+    if magic != STORE_MAGIC:
+        raise SequenceDatabaseError(
+            f"{path}: not a packed sequence store (bad magic)"
+        )
+    if version != STORE_VERSION:
+        raise SequenceDatabaseError(
+            f"{path}: unsupported packed store version {version} "
+            f"(this build reads version {STORE_VERSION})"
+        )
+    return digest.hex()
+
+
 class PackedSequenceStore:
     """Disk-resident sequence database over one packed symbol buffer.
 
@@ -115,6 +153,7 @@ class PackedSequenceStore:
         self._ids: List[int] = ids.tolist()
         self._id_index = None
         self._scan_count = 0
+        self._closed = False
         self.io_bytes_read = 0
         self.io_chunks = 0
         self.io_chunk_seconds = 0.0
@@ -163,6 +202,7 @@ class PackedSequenceStore:
 
     def save(self, path: Union[str, os.PathLike]) -> None:
         """Write the store to *path* in the packed binary format."""
+        self._require_open()
         path = os.fspath(path)
         header = _HEADER.pack(
             STORE_MAGIC,
@@ -277,12 +317,56 @@ class PackedSequenceStore:
         :meth:`open` only checks the header and section sizes — this is
         the full O(total_symbols) integrity pass.
         """
+        self._require_open()
         actual = _payload_digest(self._id_array, self._offsets, self._symbols)
         if actual != self._digest:
             raise SequenceDatabaseError(
                 f"{self._path or '<memory>'}: packed store content digest "
                 f"mismatch (header {self._digest.hex()}, payload "
                 f"{actual.hex()})"
+            )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; every data access then
+        raises instead of touching the released mapping."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the store's buffers (and, for a file-backed store,
+        the memory mapping once no row views outlive it).  Idempotent.
+
+        The ids/offsets/symbols arrays are views into one mapped
+        buffer; dropping the store's references lets CPython unmap the
+        file as soon as the last externally-held row view dies.  After
+        ``close()`` every scan/sample/row access raises
+        :class:`SequenceDatabaseError` cleanly — there is no window
+        where a caller can read through a stale mapping.  Metadata
+        (``len``, ``digest``, ``path``, ``total_symbols``) stays
+        readable, which is what cache eviction logging needs.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._total_symbols = int(self._offsets[-1])
+        self._id_array = None
+        self._offsets = None
+        self._symbols = None
+        self._id_index = None
+
+    def __enter__(self) -> "PackedSequenceStore":
+        self._require_open()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SequenceDatabaseError(
+                f"packed store {self._path or '<memory>'} is closed"
             )
 
     # -- scan accounting ------------------------------------------------------
@@ -300,6 +384,7 @@ class PackedSequenceStore:
 
     def scan(self) -> Iterator[Tuple[int, np.ndarray]]:
         """Yield ``(sequence_id, row_view)`` pairs; counts as one pass."""
+        self._require_open()
         self._scan_count += 1
         offsets = self._offsets
         symbols = self._symbols
@@ -313,6 +398,7 @@ class PackedSequenceStore:
     ) -> Iterator[SequenceChunk]:
         """Yield zero-copy :class:`SequenceChunk` blocks; one pass."""
         _check_chunk_rows(chunk_rows)
+        self._require_open()
         self._scan_count += 1
         started = perf_counter()
         for start, stop, chunk in self._slice_chunks(0, len(self._ids),
@@ -345,6 +431,7 @@ class PackedSequenceStore:
         :meth:`sequence`, it is *not* counted as a pass — the dispatching
         side accounts for the logical full pass.
         """
+        self._require_open()
         offsets = self._offsets
         symbols = self._symbols
         return [
@@ -363,6 +450,7 @@ class PackedSequenceStore:
         """
         if self._path is None:
             return None
+        self._require_open()
         self._scan_count += 1
         self.io_bytes_read += self._symbols.nbytes
         return self._path, self.digest
@@ -378,6 +466,7 @@ class PackedSequenceStore:
 
     def sequence(self, sequence_id: int) -> np.ndarray:
         """Fetch one row view by id (not counted as a scan)."""
+        self._require_open()
         if self._id_index is None:
             self._id_index = {
                 sid: index for index, sid in enumerate(self._ids)
@@ -394,11 +483,13 @@ class PackedSequenceStore:
 
     def total_symbols(self) -> int:
         """Total number of symbol occurrences (from the header)."""
+        if self._closed:
+            return self._total_symbols
         return int(self._offsets[-1])
 
     def average_length(self) -> float:
         """The paper's ``l̄_S``: mean sequence length."""
-        return int(self._offsets[-1]) / len(self._ids)
+        return self.total_symbols() / len(self._ids)
 
     def max_symbol(self) -> int:
         """Largest symbol index present (from the header)."""

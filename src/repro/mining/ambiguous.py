@@ -22,7 +22,7 @@ memory), so this phase contributes no database passes.
 from __future__ import annotations
 
 import warnings
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -69,7 +69,7 @@ def classify_on_sample(
     exact: bool = False,
     engine: "EngineSpec" = None,
     tracer: Optional[Tracer] = None,
-    resident: Optional[bool] = None,
+    resident: Union[None, bool, ResidentSampleEvaluator] = None,
     lattice: Optional[str] = None,
 ) -> SampleClassification:
     """Run the Phase-2 breadth-first classification.
@@ -121,7 +121,14 @@ def classify_on_sample(
     lattice_mode = "kernel" if kernels else "reference"
     if resident is None:
         resident = resident_from_env()
-    if resident:
+    if isinstance(resident, ResidentSampleEvaluator):
+        # A warm evaluator handed in by a long-lived caller (the
+        # mining daemon): its pin survives across runs, so a second
+        # job on the same sample skips the factor-array build and its
+        # plane store starts hot.  The content-digest pin check makes
+        # reuse safe — a different sample transparently re-pins.
+        engine = resident
+    elif resident:
         # A fresh evaluator per run: the pin is built on the first
         # level's scan and reused by every later level; the plane store
         # dies with the phase.

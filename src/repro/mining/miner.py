@@ -20,7 +20,7 @@ verification needs 5-10+.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from ..core.latticekernels import resolve_lattice
 from ..core.match import symbol_matches_and_sample
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
-from ..engine import EngineSpec, get_engine
+from ..engine import EngineSpec, ResidentSampleEvaluator, get_engine
 from ..errors import MiningError
 from ..obs import SCANS, Tracer, ensure_tracer, io_snapshot, record_io
 from .ambiguous import classify_on_sample
@@ -98,7 +98,7 @@ class BorderCollapsingMiner:
         rng: Optional[np.random.Generator] = None,
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
-        resident_sample: Optional[bool] = None,
+        resident_sample: "Union[None, bool, ResidentSampleEvaluator]" = None,
         lattice: Optional[str] = None,
     ):
         if not 0.0 < min_match <= 1.0:

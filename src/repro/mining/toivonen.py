@@ -16,7 +16,7 @@ comparison honest.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Union
 
 from ..core.border import Border
 from ..core.compatibility import CompatibilityMatrix
@@ -25,7 +25,7 @@ from ..core.latticekernels import resolve_lattice
 from ..core.match import symbol_matches_and_sample
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
-from ..engine import EngineSpec, get_engine
+from ..engine import EngineSpec, ResidentSampleEvaluator, get_engine
 from ..errors import MiningError
 from ..obs import (
     CANDIDATES_GENERATED,
@@ -59,7 +59,7 @@ class ToivonenMiner:
         rng: Optional[np.random.Generator] = None,
         engine: EngineSpec = None,
         tracer: Optional[Tracer] = None,
-        resident_sample: Optional[bool] = None,
+        resident_sample: "Union[None, bool, ResidentSampleEvaluator]" = None,
         lattice: Optional[str] = None,
     ):
         if not 0.0 < min_match <= 1.0:

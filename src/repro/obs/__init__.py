@@ -15,7 +15,12 @@ output of every miner instead of a number inferred from one total.
 
 from __future__ import annotations
 
-from .report import PhaseReport, RunReport, phase_report_from_span
+from .report import (
+    PhaseReport,
+    REPORT_SCHEMA_VERSION,
+    RunReport,
+    phase_report_from_span,
+)
 from .tracer import (
     AMBIGUOUS_REMAINING,
     CANDIDATE_GEN_SECONDS,
@@ -36,11 +41,14 @@ from .tracer import (
     RESIDENT_PLANE_BYTES,
     RESIDENT_PLANE_HITS,
     RESIDENT_PLANE_MISSES,
+    RESULT_MEMO_HITS,
     LATTICE_CANDIDATES,
     SAMPLE_PATTERNS_COUNTED,
     SAMPLE_SCANS,
     SCANS,
     SHARDS_DISPATCHED,
+    STORE_CACHE_HITS,
+    STORE_CACHE_MISSES,
     SUBSUMPTION_CHECKS,
     SUBSUMPTION_SKIPPED,
     Span,
@@ -69,14 +77,18 @@ __all__ = [
     "PROBE_ROUNDS",
     "PROBES",
     "PhaseReport",
+    "REPORT_SCHEMA_VERSION",
     "RESIDENT_PLANE_BYTES",
     "RESIDENT_PLANE_HITS",
     "RESIDENT_PLANE_MISSES",
+    "RESULT_MEMO_HITS",
     "RunReport",
     "SAMPLE_PATTERNS_COUNTED",
     "SAMPLE_SCANS",
     "SCANS",
     "SHARDS_DISPATCHED",
+    "STORE_CACHE_HITS",
+    "STORE_CACHE_MISSES",
     "SUBSUMPTION_CHECKS",
     "SUBSUMPTION_SKIPPED",
     "Span",

@@ -17,7 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from ..errors import MiningError
 from .tracer import SCANS, Span
+
+#: Version of the serialised ``RunReport`` wire form.  The daemon ships
+#: reports across processes, so the shape is a stable contract:
+#: :meth:`RunReport.to_dict` stamps this version, and
+#: :meth:`RunReport.from_dict` accepts payloads without a stamp (pre-
+#: service reports) or with the current version, rejecting anything
+#: newer loudly instead of misreading it.
+REPORT_SCHEMA_VERSION = 1
 
 
 def _coerce_counter(value: object):
@@ -147,6 +156,7 @@ class RunReport:
         """JSON-serialisable representation (inverse of
         :meth:`from_dict`)."""
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "algorithm": self.algorithm,
             "engine": self.engine,
             "scans": self.scans,
@@ -158,6 +168,12 @@ class RunReport:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RunReport":
+        version = int(payload.get("schema_version", REPORT_SCHEMA_VERSION))
+        if version > REPORT_SCHEMA_VERSION:
+            raise MiningError(
+                f"RunReport payload has schema version {version}; this "
+                f"build reads versions <= {REPORT_SCHEMA_VERSION}"
+            )
         return cls(
             algorithm=str(payload["algorithm"]),
             engine=str(payload["engine"]),

@@ -23,6 +23,14 @@ Design constraints, in order:
    the database's ``scan_count`` — follows directly.
 3. **Monotonic timers.**  Span timing uses ``time.perf_counter`` so
    wall-clock adjustments never produce negative phase durations.
+4. **Thread-safe recording.**  The mining service runs jobs on worker
+   threads and reads progress from request-handler threads, so every
+   mutation of shared span state (counter dicts, note dicts, child
+   lists) happens under one tracer-wide lock, and the *span stack* is
+   thread-local: each thread nests its own phases under the shared
+   root, so concurrent ``phase()`` scopes never corrupt each other's
+   nesting.  :meth:`Tracer.snapshot` freezes a consistent live view of
+   the whole tree — the source of the daemon's streamed phase progress.
 
 A tracer records one run: create a fresh one per ``mine()`` call (the
 CLI and the eval harness do).  Reusing a tracer across runs simply
@@ -32,6 +40,7 @@ aggregate accounting but mixes phases in the report.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterator, List, Optional
 
@@ -62,6 +71,9 @@ SUBSUMPTION_CHECKS = "subsumption_checks"
 SUBSUMPTION_SKIPPED = "subsumption_skipped"
 LATTICE_CANDIDATES = "lattice_candidates"
 CANDIDATE_GEN_SECONDS = "candidate_gen_seconds"
+STORE_CACHE_HITS = "store_cache_hits"
+STORE_CACHE_MISSES = "store_cache_misses"
+RESULT_MEMO_HITS = "result_memo_hits"
 
 #: The disk-resident backends' lifetime I/O accumulators, in the order
 #: they are snapshotted.  ``io_chunk_seconds`` is a float counter —
@@ -151,7 +163,10 @@ class _SpanContext:
                 f"tracer phases closed out of order: expected "
                 f"{self._span.name!r}, got {span.name!r}"
             )
-        span.elapsed_seconds += time.perf_counter() - span._started
+        elapsed = time.perf_counter() - span._started
+        with self._tracer._lock:
+            span.elapsed_seconds += elapsed
+            span._started = None
 
 
 class _NullSpanContext:
@@ -189,14 +204,30 @@ class Tracer:
     def __init__(self):
         self._root = Span("run")
         self._root._started = time.perf_counter()
-        self._stack: List[Span] = [self._root]
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._local.stack = [self._root]
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's span stack (rooted at the shared root span).
+
+        Threads other than the creator start with a fresh stack, so
+        their phases attach to the root as top-level spans — concurrent
+        scopes never pop each other's frames.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = [self._root]
+        return stack
 
     # -- recording ------------------------------------------------------------
 
     def phase(self, name: str) -> _SpanContext:
         """Open a nested span; use as a context manager."""
         span = Span(name)
-        self._stack[-1].children.append(span)
+        with self._lock:
+            self._stack[-1].children.append(span)
         return _SpanContext(self, span)
 
     def count(self, name: str, n: int = 1) -> None:
@@ -204,18 +235,22 @@ class Tracer:
 
         Rolling up at record time keeps every span's counters inclusive
         of its descendants — the property the per-phase scan invariant
-        relies on.
+        relies on.  Thread-safe: the root span is shared by every
+        thread's stack, so increments serialise under the tracer lock.
         """
-        for span in self._stack:
-            span.count(name, n)
+        with self._lock:
+            for span in self._stack:
+                span.count(name, n)
 
     def annotate(self, key: str, value: object) -> None:
         """Attach a point-in-time note to the **current** span."""
-        self._stack[-1].notes[key] = value
+        with self._lock:
+            self._stack[-1].notes[key] = value
 
     def note(self, key: str, value: object) -> None:
         """Attach a run-level note (lands in ``RunReport.context``)."""
-        self._root.notes[key] = value
+        with self._lock:
+            self._root.notes[key] = value
 
     # -- introspection --------------------------------------------------------
 
@@ -225,15 +260,18 @@ class Tracer:
 
     def phases(self) -> List[Span]:
         """The top-level spans recorded so far."""
-        return list(self._root.children)
+        with self._lock:
+            return list(self._root.children)
 
     def total(self, name: str) -> int:
         """The run-wide total of one counter."""
-        return self._root.counters.get(name, 0)
+        with self._lock:
+            return self._root.counters.get(name, 0)
 
     def totals(self) -> Dict[str, int]:
         """All run-wide counter totals."""
-        return dict(self._root.counters)
+        with self._lock:
+            return dict(self._root.counters)
 
     def walk(self) -> Iterator[Span]:
         """Every span, depth first, root first."""
@@ -242,6 +280,19 @@ class Tracer:
             span = stack.pop()
             yield span
             stack.extend(reversed(span.children))
+
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent live view of the span tree, safe to read from
+        another thread while the run is in flight.
+
+        Open spans (the run root, the phase currently executing) report
+        their elapsed time up to *now*; the shape of each node matches
+        the :class:`~repro.obs.report.PhaseReport` wire form plus an
+        ``"open"`` flag.  This is what the daemon streams as phase
+        progress before a job's final :class:`RunReport` exists.
+        """
+        with self._lock:
+            return _freeze_span(self._root, time.perf_counter())
 
     def report(
         self,
@@ -307,8 +358,25 @@ class NullTracer(Tracer):
     def walk(self) -> Iterator[Span]:
         return iter(())
 
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
     def report(self, *args, **kwargs) -> None:  # type: ignore[override]
         return None
+
+
+def _freeze_span(span: Span, now: float) -> Dict[str, object]:
+    """Copy one span (and subtree) to plain dicts; caller holds the lock."""
+    is_open = span._started is not None
+    elapsed = span.elapsed_seconds + (now - span._started if is_open else 0.0)
+    return {
+        "name": span.name,
+        "elapsed_seconds": elapsed,
+        "open": is_open,
+        "counters": dict(span.counters),
+        "notes": dict(span.notes),
+        "children": [_freeze_span(c, now) for c in span.children],
+    }
 
 
 #: The shared no-op tracer every ``tracer=None`` resolves to.

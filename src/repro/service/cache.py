@@ -1,0 +1,238 @@
+"""Warm state for the mining daemon: store cache and result memo.
+
+The whole point of running a daemon instead of a one-shot CLI is that
+expensive state survives across jobs:
+
+* :class:`StoreCache` keeps :class:`~repro.io.PackedSequenceStore`
+  instances memory-mapped between requests, keyed by **content
+  digest** — two paths holding identical bytes share one mapping, and
+  a re-submitted path is recognised by a 64-byte header peek (or a
+  plain ``stat`` when the file is unchanged) without re-opening
+  anything.  Each entry also owns per-store execution state: private
+  engine instances (so concurrent jobs on different stores never share
+  a factor cache or worker pool) and one warm
+  :class:`~repro.engine.resident.ResidentSampleEvaluator` whose pinned
+  sample and plane store carry over to the next job on the same store.
+* :class:`ResultMemo` maps ``(store digest, canonical config key)`` to
+  a finished job's result payload, so resubmitting an identical job is
+  free.  Only deterministic jobs are memoized (the caller checks
+  :attr:`repro.config.MiningConfig.memoizable`).
+
+Both caches are LRU with small fixed capacities, thread-safe, and
+evict through the owning objects' ``close()`` hooks — an evicted store
+entry unmaps its file and shuts down its engines.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..engine import MatchEngine, create_engine
+from ..engine.resident import ResidentSampleEvaluator
+from ..io import PackedSequenceStore, peek_store_digest
+
+#: Default number of stores kept open at once.
+DEFAULT_STORE_CAPACITY = 4
+
+#: Default number of memoized results.
+DEFAULT_MEMO_ENTRIES = 128
+
+
+class StoreEntry:
+    """One warm store: the open mapping plus its per-store engines.
+
+    ``lock`` serialises jobs on the same store — the scan-count
+    bookkeeping on a store (and the engines' caches) is per-instance
+    state that two concurrent miners must not interleave.  Jobs on
+    *different* entries run fully in parallel.
+    """
+
+    def __init__(self, store: PackedSequenceStore):
+        self.store = store
+        self.digest = store.digest
+        self.lock = threading.Lock()
+        self.hits = 0
+        self._engines: Dict[str, MatchEngine] = {}
+        self._resident: Optional[ResidentSampleEvaluator] = None
+
+    def engine_for(self, name: str) -> MatchEngine:
+        """This entry's private instance of the named backend.
+
+        Created on first use via
+        :func:`repro.engine.create_engine` — never the process-shared
+        registry instance — and kept so the factor cache / worker pool
+        stays warm for the next job on this store.
+        """
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = self._engines[name] = create_engine(name)
+        return engine
+
+    def resident_evaluator(self) -> ResidentSampleEvaluator:
+        """The entry's warm Phase-2 evaluator (created on first use).
+
+        Its pin is keyed by sample content, so a second job with the
+        same (seed, sample_size, matrix) skips the factor-array build
+        entirely and starts with a hot plane store; a different sample
+        transparently re-pins.
+        """
+        if self._resident is None:
+            self._resident = ResidentSampleEvaluator()
+        return self._resident
+
+    @property
+    def resident_repins(self) -> int:
+        """Times the warm evaluator had to (re)build its pin; a warm
+        job on an unchanged sample does not increment this."""
+        return self._resident.repins if self._resident is not None else 0
+
+    def close(self) -> None:
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
+        if self._resident is not None:
+            self._resident.close()
+            self._resident = None
+        self.store.close()
+
+
+class StoreCache:
+    """Digest-keyed LRU of open packed stores.
+
+    ``get(path)`` is the only lookup: it stats the path, peeks the
+    64-byte header digest when the stat changed, and returns the live
+    entry for that content — opening the store only on a genuine miss.
+    Eviction closes the entry (waiting for any job that still holds
+    its lock), so the mmap count stays bounded however many distinct
+    stores a daemon sees.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_STORE_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"store cache capacity must be >= 1, got "
+                             f"{capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, StoreEntry]" = OrderedDict()
+        #: abspath -> (digest, mtime_ns, size) of the last open/peek.
+        self._paths: Dict[str, Tuple[str, int, int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, path: str) -> Tuple[StoreEntry, bool]:
+        """The warm entry for *path*: ``(entry, was_hit)``.
+
+        A hit means the store was **not** re-opened: either the path is
+        unchanged since last time (stat match) or its header digest
+        names content that is already mapped under another path.
+        """
+        path = os.path.abspath(os.fspath(path))
+        stat = os.stat(path)
+        signature = (stat.st_mtime_ns, stat.st_size)
+        evicted = []
+        with self._lock:
+            cached = self._paths.get(path)
+            digest = None
+            if cached is not None and cached[1:] == signature:
+                digest = cached[0]
+            if digest is None or digest not in self._entries:
+                digest = peek_store_digest(path)
+                self._paths[path] = (digest, *signature)
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                entry.hits += 1
+                self.hits += 1
+                return entry, True
+            entry = StoreEntry(PackedSequenceStore.open(path))
+            self._entries[entry.digest] = entry
+            self._paths[path] = (entry.digest, *signature)
+            self.misses += 1
+            while len(self._entries) > self.capacity:
+                _digest, old = self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted.append(old)
+        # Close outside the cache lock: an evicted entry may still be
+        # mid-job; close() waits on the entry lock without stalling
+        # unrelated get() calls.
+        for old in evicted:
+            with old.lock:
+                old.close()
+        return entry, False
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "open_stores": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def close(self) -> None:
+        """Close every cached store (daemon shutdown)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._paths.clear()
+        for entry in entries:
+            with entry.lock:
+                entry.close()
+
+
+class ResultMemo:
+    """LRU of finished job payloads keyed by
+    ``(store digest, canonical config key)``."""
+
+    def __init__(self, max_entries: int = DEFAULT_MEMO_ENTRIES):
+        if max_entries < 0:
+            raise ValueError(
+                f"memo capacity must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str], dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple[str, str]) -> Optional[dict]:
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: Tuple[str, str], payload: dict) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+__all__ = [
+    "DEFAULT_MEMO_ENTRIES",
+    "DEFAULT_STORE_CAPACITY",
+    "ResultMemo",
+    "StoreCache",
+    "StoreEntry",
+]

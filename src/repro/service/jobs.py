@@ -1,0 +1,354 @@
+"""Job model and the warm-state mining service behind the HTTP layer.
+
+:class:`MiningService` is the daemon's engine room, usable directly
+in-process (the tests and ``scripts/smoke_service.py`` do) or behind
+:mod:`repro.service.server`.  One service instance owns:
+
+* a :class:`~repro.service.cache.StoreCache` of open packed stores
+  with per-store engines and a warm resident evaluator;
+* a :class:`~repro.service.cache.ResultMemo` keyed by
+  ``(store digest, canonical config key)``;
+* a registry of :class:`Job` objects and a pool of worker threads
+  draining a FIFO queue.
+
+Every job runs with a live, thread-safe
+:class:`~repro.obs.Tracer`, so its phase progress can be snapshotted
+over HTTP while it runs and its final
+:class:`~repro.obs.RunReport` lands in the result payload — extended
+with the daemon's own warm-state counters (``store_cache_hits`` /
+``store_cache_misses`` / ``result_memo_hits``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..config import MiningConfig, json_payload
+from ..core.sequence import SequenceDatabase
+from ..engine import create_engine
+from ..errors import NoisyMineError, ServiceError
+from ..obs import (
+    RESULT_MEMO_HITS,
+    STORE_CACHE_HITS,
+    STORE_CACHE_MISSES,
+    Tracer,
+)
+from .cache import (
+    DEFAULT_MEMO_ENTRIES,
+    DEFAULT_STORE_CAPACITY,
+    ResultMemo,
+    StoreCache,
+)
+
+#: Default worker-thread count for a service instance.
+DEFAULT_WORKERS = 2
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+def _inline_digest(database: SequenceDatabase) -> str:
+    """Content digest of an inline database, row-compatible with the
+    packed store's payload digest role (memo key component only)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for sid in database.ids:
+        row = np.ascontiguousarray(
+            np.asarray(database.sequence(sid), dtype=np.int64)
+        )
+        digest.update(int(sid).to_bytes(8, "little", signed=True))
+        digest.update(len(row).to_bytes(8, "little"))
+        digest.update(row.tobytes())
+    return "inline-" + digest.hexdigest()
+
+
+@dataclass
+class Job:
+    """One submitted mining job and everything observable about it."""
+
+    id: str
+    config: MiningConfig
+    store_path: Optional[str] = None
+    database: Optional[SequenceDatabase] = None
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    store_digest: Optional[str] = None
+    memo_hit: bool = False
+    error: Optional[str] = None
+    tracer: Tracer = field(default_factory=Tracer)
+    result: Optional[dict] = None
+
+    def status_dict(self) -> Dict[str, object]:
+        """The wire form of ``GET /jobs/<id>``: state plus live phase
+        progress from the job's tracer."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "store_digest": self.store_digest,
+            "memo_hit": self.memo_hit,
+            "error": self.error,
+            "config": self.config.to_dict(),
+            "progress": self.tracer.snapshot(),
+        }
+
+    def result_dict(self) -> Dict[str, object]:
+        """The wire form of ``GET /jobs/<id>/result``."""
+        if self.state != DONE:
+            raise ServiceError(
+                f"job {self.id} has no result (state: {self.state}"
+                + (f", error: {self.error}" if self.error else "")
+                + ")"
+            )
+        return {
+            "id": self.id,
+            "state": self.state,
+            "store_digest": self.store_digest,
+            "memo_hit": self.memo_hit,
+            "result": self.result,
+        }
+
+
+class MiningService:
+    """Long-lived mining executor with warm state across jobs.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads draining the job queue; jobs on different
+        stores run concurrently, jobs on the same store serialise on
+        the store entry's lock.
+    store_capacity / memo_entries:
+        LRU capacities of the store cache and the result memo.
+    """
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_WORKERS,
+        store_capacity: int = DEFAULT_STORE_CAPACITY,
+        memo_entries: int = DEFAULT_MEMO_ENTRIES,
+    ):
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.stores = StoreCache(store_capacity)
+        self.memo = ResultMemo(memo_entries)
+        self.started_at = time.time()
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._ids = itertools.count(1)
+        self._workers: List[threading.Thread] = []
+        self._stopped = False
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"noisymine-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        config: Union[MiningConfig, Mapping[str, object]],
+        store: Optional[str] = None,
+        database: Optional[Sequence[Sequence[int]]] = None,
+        ids: Optional[Sequence[int]] = None,
+    ) -> Job:
+        """Queue one mining job over a store path or an inline database.
+
+        Exactly one of *store* / *database* must be given.  The store
+        path must name a packed store (the warm cache maps files; text
+        inputs should be converted once with ``noisymine convert``).
+        Raises :class:`ServiceError` on a malformed request; config
+        validation errors propagate as :class:`NoisyMineError`.
+        """
+        if self._stopped:
+            raise ServiceError("service is shut down")
+        if (store is None) == (database is None):
+            raise ServiceError(
+                "submit exactly one of 'store' (path) or 'database' "
+                "(inline rows)"
+            )
+        if not isinstance(config, MiningConfig):
+            config = MiningConfig.from_dict(config)
+        if store is not None:
+            store = os.path.abspath(os.fspath(store))
+            if not os.path.isfile(store):
+                raise ServiceError(f"store path does not exist: {store}")
+        db = None
+        if database is not None:
+            try:
+                db = SequenceDatabase(database, ids=ids)
+            except NoisyMineError:
+                raise
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"invalid inline database: {exc}"
+                ) from exc
+        job = Job(
+            id=f"job-{next(self._ids)}",
+            config=config,
+            store_path=None if store is None else str(store),
+            database=db,
+        )
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+        self._queue.put(job)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    # -- execution ------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                self._run(job)
+            except BaseException as exc:  # noqa: BLE001 - job isolation
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = FAILED
+                job.finished_at = time.time()
+            finally:
+                self._queue.task_done()
+
+    def _run(self, job: Job) -> None:
+        job.state = RUNNING
+        job.started_at = time.time()
+        config = job.config
+        tracer = job.tracer
+
+        entry = None
+        if job.store_path is not None:
+            entry, warm = self.stores.get(job.store_path)
+            job.store_digest = entry.digest
+            tracer.count(STORE_CACHE_HITS if warm else STORE_CACHE_MISSES)
+            n_sequences = len(entry.store)
+            if config.alphabet is None and config.matrix is None:
+                config = config.with_overrides(
+                    alphabet=entry.store.max_symbol() + 1
+                )
+        else:
+            job.store_digest = _inline_digest(job.database)
+            n_sequences = len(job.database)
+            if config.alphabet is None and config.matrix is None:
+                config = config.with_overrides(
+                    alphabet=job.database.max_symbol() + 1
+                )
+        job.config = config
+
+        memo_key = (job.store_digest, config.to_key())
+        if config.memoizable:
+            memoized = self.memo.get(memo_key)
+            if memoized is not None:
+                tracer.count(RESULT_MEMO_HITS)
+                job.memo_hit = True
+                job.result = memoized
+                job.state = DONE
+                job.finished_at = time.time()
+                return
+
+        if entry is not None:
+            # Serialise jobs per store: scan accounting and engine
+            # caches are per-entry state.  The database is the warm
+            # mmap'd store itself — no re-open, no re-parse.
+            with entry.lock:
+                entry.store.reset_scan_count()
+                miner = config.build_miner(
+                    n_sequences,
+                    engine=entry.engine_for(config.engine),
+                    tracer=tracer,
+                    resident=(
+                        entry.resident_evaluator()
+                        if config.resident_sample else None
+                    ),
+                )
+                result = miner.mine(entry.store)
+        else:
+            miner = config.build_miner(
+                n_sequences, engine=create_engine(config.engine),
+                tracer=tracer,
+            )
+            result = miner.mine(job.database)
+
+        job.result = json_payload(config, result)
+        job.state = DONE
+        job.finished_at = time.time()
+        if config.memoizable:
+            self.memo.put(memo_key, job.result)
+
+    # -- introspection --------------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        states = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            states[job.state] += 1
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": len(self._workers),
+            "jobs": states,
+            "store_cache": self.stores.stats(),
+            "result_memo": self.memo.stats(),
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers (after the queue drains) and release every
+        cached store.  Idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=30.0)
+        self.stores.close()
+
+    def __enter__(self) -> "MiningService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "DEFAULT_WORKERS",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "Job",
+    "MiningService",
+    "QUEUED",
+    "RUNNING",
+]

@@ -310,6 +310,91 @@ class TestTracer:
         assert "p" in repr(span)
 
 
+class TestTracerThreadSafety:
+    """The daemon records from worker threads while request handlers
+    snapshot — one tracer, many threads, no torn state."""
+
+    def test_multithreaded_recording_is_consistent(self):
+        import threading
+
+        tracer = Tracer()
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def work(index):
+            barrier.wait()
+            for i in range(per_thread):
+                with tracer.phase(f"worker-{index}"):
+                    tracer.count(SCANS, 1)
+                    with tracer.phase("inner"):
+                        tracer.count("units", 2)
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = n_threads * per_thread
+        assert tracer.total(SCANS) == total
+        assert tracer.total("units") == 2 * total
+        # Every thread rooted its spans under the shared root (one span
+        # per phase() call), and no increment was lost or misattributed.
+        spans = tracer.phases()
+        assert len(spans) == total
+        scans_by_name: dict = {}
+        for span in spans:
+            scans_by_name[span.name] = scans_by_name.get(span.name, 0) \
+                + span.scans
+        assert len(scans_by_name) == n_threads
+        for index in range(n_threads):
+            assert scans_by_name[f"worker-{index}"] == per_thread
+
+    def test_snapshot_while_recording(self):
+        import threading
+
+        tracer = Tracer()
+        stop = threading.Event()
+        errors = []
+
+        def snapshotter():
+            while not stop.is_set():
+                try:
+                    snapshot = tracer.snapshot()
+                    assert snapshot["name"] == "run"
+                    assert snapshot["counters"].get(SCANS, 0) >= 0
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        reader = threading.Thread(target=snapshotter)
+        reader.start()
+        for _ in range(500):
+            with tracer.phase("hot"):
+                tracer.count(SCANS, 1)
+        stop.set()
+        reader.join(timeout=10.0)
+        assert not errors
+        assert tracer.total(SCANS) == 500
+
+    def test_snapshot_reports_open_spans(self):
+        tracer = Tracer()
+        with tracer.phase("open-phase"):
+            tracer.count(SCANS, 1)
+            snapshot = tracer.snapshot()
+            children = {c["name"]: c for c in snapshot["children"]}
+            assert children["open-phase"]["open"] is True
+            assert children["open-phase"]["elapsed_seconds"] >= 0.0
+        done = tracer.snapshot()
+        children = {c["name"]: c for c in done["children"]}
+        assert children["open-phase"]["open"] is False
+
+    def test_null_tracer_snapshot_is_empty(self):
+        assert NULL_TRACER.snapshot() == {}
+
+
 class TestIoRecording:
     class FakeDisk:
         def __init__(self):

@@ -350,3 +350,81 @@ class TestMinerParity:
         finally:
             if engine_name == "parallel":
                 engine.close()
+
+
+class TestLifecycle:
+    """close() / context-manager semantics: the daemon's store cache
+    leans on these to bound the number of live mappings."""
+
+    def test_close_is_idempotent(self, store_path):
+        store = PackedSequenceStore.open(store_path)
+        assert not store.closed
+        store.close()
+        assert store.closed
+        store.close()  # second close is a no-op
+
+    def test_context_manager_closes(self, store_path):
+        with PackedSequenceStore.open(store_path) as store:
+            assert not store.closed
+            assert len(store) == 4
+        assert store.closed
+
+    def test_closed_store_raises_cleanly(self, store_path):
+        store = PackedSequenceStore.open(store_path)
+        store.close()
+        with pytest.raises(SequenceDatabaseError, match="closed"):
+            list(store.scan())
+        with pytest.raises(SequenceDatabaseError, match="closed"):
+            list(store.scan_chunks())
+        with pytest.raises(SequenceDatabaseError, match="closed"):
+            store.sequence(3)
+        with pytest.raises(SequenceDatabaseError, match="closed"):
+            store.verify()
+        with pytest.raises(SequenceDatabaseError, match="closed"):
+            store.save(store_path)
+
+    def test_closed_error_names_the_path(self, store_path):
+        store = PackedSequenceStore.open(store_path)
+        store.close()
+        with pytest.raises(SequenceDatabaseError, match="db.nmp"):
+            list(store.scan())
+
+    def test_metadata_survives_close(self, store_path, small_db):
+        store = PackedSequenceStore.open(store_path)
+        digest = store.digest
+        store.close()
+        # Catalog facts stay readable: the cache reports on evicted
+        # entries without resurrecting the mapping.
+        assert store.digest == digest
+        assert len(store) == len(small_db)
+        assert store.total_symbols() == small_db.total_symbols()
+
+    def test_in_memory_store_closes_too(self, small_db):
+        store = PackedSequenceStore.from_database(small_db)
+        store.close()
+        with pytest.raises(SequenceDatabaseError, match="<memory>"):
+            list(store.scan())
+
+
+class TestDigestPeek:
+    def test_peek_matches_open_digest(self, store_path):
+        from repro.io import peek_store_digest
+
+        with PackedSequenceStore.open(store_path) as store:
+            assert peek_store_digest(store_path) == store.digest
+
+    def test_peek_rejects_non_store(self, tmp_path):
+        from repro.io import peek_store_digest
+
+        bogus = tmp_path / "not-a-store.bin"
+        bogus.write_bytes(b"x" * 100)
+        with pytest.raises(SequenceDatabaseError):
+            peek_store_digest(bogus)
+
+    def test_peek_rejects_truncated_header(self, tmp_path, store_path):
+        from repro.io import peek_store_digest
+
+        stub = tmp_path / "stub.nmp"
+        stub.write_bytes(store_path.read_bytes()[: HEADER_BYTES // 2])
+        with pytest.raises(SequenceDatabaseError):
+            peek_store_digest(stub)

@@ -1,0 +1,377 @@
+"""Integration tests for the mining service daemon.
+
+Covers the full warm-state contract: HTTP submit → poll → result
+parity with a direct CLI run, result memoization on identical
+resubmission, store-cache warm hits, concurrent jobs on different
+stores staying isolated, and LRU eviction closing evicted stores.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.sequence import SequenceDatabase
+from repro.datagen.synthetic import generate_database
+from repro.datagen.motifs import random_motif
+from repro.errors import SequenceDatabaseError, ServiceError
+from repro.io import PackedSequenceStore
+from repro.obs import RESULT_MEMO_HITS, STORE_CACHE_HITS, STORE_CACHE_MISSES
+from repro.service import (
+    MiningService,
+    ServiceClient,
+    StoreCache,
+    start_server,
+)
+
+import numpy as np
+
+
+def _make_store(tmp_path, name, seed, sequences=40, alphabet=6):
+    rng = np.random.default_rng(seed)
+    motifs = [random_motif(3, alphabet, 0.5, rng)]
+    database = generate_database(sequences, 15, alphabet, motifs, rng=rng)
+    path = tmp_path / name
+    PackedSequenceStore.from_database(database, path)
+    return path
+
+
+def _strip_timing(payload):
+    """Everything in a result payload except wall-clock-bearing keys."""
+    clean = dict(payload)
+    clean.pop("elapsed_seconds", None)
+    clean.pop("metrics", None)
+    return clean
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    return _make_store(tmp_path_factory.mktemp("svc"), "a.nmp", seed=11)
+
+
+@pytest.fixture(scope="module")
+def other_store_path(tmp_path_factory):
+    return _make_store(tmp_path_factory.mktemp("svc2"), "b.nmp", seed=22)
+
+
+CONFIG = {
+    "min_match": 0.4,
+    "algorithm": "levelwise",
+    "alphabet": 6,
+    "noise": 0.1,
+}
+
+
+class TestHTTPRoundTrip:
+    @pytest.fixture(scope="class")
+    def server(self):
+        server, _thread = start_server(port=0)
+        yield server
+        server.close()
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        return ServiceClient(server.url)
+
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] >= 1
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
+
+    def test_submit_poll_result_matches_cli(self, client, store_path,
+                                            capsys):
+        job = client.submit(CONFIG, store=str(store_path))
+        assert job["state"] in ("queued", "running", "done")
+        doc = client.wait(job["id"])
+        assert doc["state"] == "done"
+        assert doc["memo_hit"] is False
+
+        code = main([
+            "mine", str(store_path),
+            "--alphabet", "6", "--min-match", "0.4",
+            "--algorithm", "levelwise", "--noise", "0.1", "--json",
+        ])
+        assert code == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        assert _strip_timing(doc["result"]) == _strip_timing(cli_payload)
+
+    def test_status_streams_progress(self, client, store_path):
+        job = client.submit(CONFIG, store=str(store_path))
+        status = client.status(job["id"])
+        assert status["id"] == job["id"]
+        assert "progress" in status
+        client.wait(job["id"])
+        final = client.status(job["id"])
+        # A finished deterministic job has its phase tree in progress.
+        assert final["state"] == "done"
+        assert isinstance(final["progress"], dict)
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client.status("job-does-not-exist")
+
+    def test_result_before_done_is_409_or_result(self, client, store_path):
+        job = client.submit(CONFIG, store=str(store_path))
+        try:
+            doc = client.result(job["id"])
+            assert doc["state"] == "done"  # raced to completion: fine
+        except ServiceError as exc:
+            assert "409" in str(exc)
+        client.wait(job["id"])
+
+    def test_bad_config_is_400(self, client, store_path):
+        with pytest.raises(ServiceError, match="400"):
+            client.submit({"min_match": 2.0}, store=str(store_path))
+
+    def test_unknown_config_key_is_400(self, client, store_path):
+        with pytest.raises(ServiceError, match="min_macth"):
+            client.submit(
+                {"min_match": 0.4, "min_macth": 0.4},
+                store=str(store_path),
+            )
+
+    def test_missing_store_is_400(self, client, tmp_path):
+        with pytest.raises(ServiceError, match="400"):
+            client.submit(CONFIG, store=str(tmp_path / "nope.nmp"))
+
+    def test_failed_job_surfaces_as_500(self, client, store_path):
+        # alphabet=2 is smaller than the store's symbols: the job
+        # starts, then fails inside the miner.
+        job = client.submit(
+            {"min_match": 0.4, "algorithm": "levelwise", "alphabet": 2},
+            store=str(store_path),
+        )
+        with pytest.raises(ServiceError):
+            client.wait(job["id"], timeout=30.0)
+
+    def test_inline_database_job(self, client):
+        doc_job = client.submit(
+            {"min_match": 0.5, "algorithm": "maxminer"},
+            database=[[0, 1, 2, 0], [1, 2, 0, 1], [0, 1, 2, 2]],
+        )
+        doc = client.wait(doc_job["id"])
+        assert doc["state"] == "done"
+        assert doc["result"]["patterns"]
+
+
+class TestMemoization:
+    def test_identical_resubmit_is_memo_hit(self, store_path):
+        with MiningService(workers=1) as service:
+            first = service.submit(CONFIG, store=str(store_path))
+            service._queue.join()
+            second = service.submit(CONFIG, store=str(store_path))
+            service._queue.join()
+            assert first.state == "done" and second.state == "done"
+            assert not first.memo_hit
+            assert second.memo_hit
+            assert second.result == first.result
+            assert second.tracer.totals().get(RESULT_MEMO_HITS) == 1
+            assert service.memo.stats()["hits"] == 1
+
+    def test_memo_crosses_execution_knobs(self, store_path):
+        """A vectorized rerun of a reference-engine job is a memo hit:
+        backends are pinned bit-identical by the equivalence suites."""
+        with MiningService(workers=1) as service:
+            service.submit(CONFIG, store=str(store_path))
+            service._queue.join()
+            variant = dict(CONFIG, engine="vectorized",
+                           lattice="reference")
+            second = service.submit(variant, store=str(store_path))
+            service._queue.join()
+            assert second.memo_hit
+
+    def test_seedless_sampling_is_not_memoized(self, store_path):
+        config = dict(CONFIG, algorithm="toivonen", sample_size=40,
+                      delta=0.5)
+        with MiningService(workers=1) as service:
+            service.submit(config, store=str(store_path))
+            service._queue.join()
+            second = service.submit(config, store=str(store_path))
+            service._queue.join()
+            assert second.state == "done"
+            assert not second.memo_hit
+
+    def test_seeded_sampling_is_memoized(self, store_path):
+        config = dict(CONFIG, algorithm="toivonen", sample_size=40,
+                      delta=0.5, seed=5)
+        with MiningService(workers=1) as service:
+            service.submit(config, store=str(store_path))
+            service._queue.join()
+            second = service.submit(config, store=str(store_path))
+            service._queue.join()
+            assert second.memo_hit
+
+
+class TestWarmState:
+    def test_second_job_hits_store_cache(self, store_path):
+        with MiningService(workers=1) as service:
+            first = service.submit(CONFIG, store=str(store_path))
+            service._queue.join()
+            # Different min_match -> no memo hit, but same store.
+            second = service.submit(
+                dict(CONFIG, min_match=0.6), store=str(store_path)
+            )
+            service._queue.join()
+            assert first.tracer.totals().get(STORE_CACHE_MISSES) == 1
+            assert second.tracer.totals().get(STORE_CACHE_HITS) == 1
+            assert service.stores.stats()["open_stores"] == 1
+
+    def test_warm_resident_sample_skips_repin(self, store_path):
+        """The second sampling job on the same store reuses the pinned
+        sample: the warm evaluator's repin counter must not move."""
+        config = dict(CONFIG, algorithm="border-collapsing",
+                      sample_size=40, delta=0.5, seed=9,
+                      resident_sample=True)
+        with MiningService(workers=1) as service:
+            service.submit(config, store=str(store_path))
+            service._queue.join()
+            entry, was_hit = service.stores.get(str(store_path))
+            assert was_hit
+            repins_after_first = entry.resident_repins
+            assert repins_after_first >= 1
+            # Different min_match defeats the memo; same seed/sample.
+            service.submit(dict(config, min_match=0.35),
+                           store=str(store_path))
+            service._queue.join()
+            assert entry.resident_repins == repins_after_first
+
+    def test_concurrent_jobs_do_not_cross_contaminate(
+        self, store_path, other_store_path
+    ):
+        """Two jobs on different stores running at once: each report
+        carries its own store digest and its own scan counts."""
+        with MiningService(workers=2) as service:
+            jobs = [
+                service.submit(CONFIG, store=str(store_path)),
+                service.submit(CONFIG, store=str(other_store_path)),
+            ]
+            service._queue.join()
+            assert all(job.state == "done" for job in jobs)
+            assert jobs[0].store_digest != jobs[1].store_digest
+            # Reports are per-job: each saw exactly one cache miss and
+            # its own (complete) scan accounting.
+            for job in jobs:
+                totals = job.tracer.totals()
+                assert totals.get(STORE_CACHE_MISSES) == 1
+                assert totals.get(STORE_CACHE_HITS) is None
+                assert job.result["scans"] == sum(
+                    phase["counters"].get("scans", 0)
+                    for phase in job.result["metrics"]["phases"]
+                )
+            # Different inputs genuinely mined differently.
+            assert jobs[0].result["patterns"] != jobs[1].result["patterns"]
+
+    def test_same_store_twice_maps_once(self, store_path, tmp_path):
+        """A byte-identical copy under another path shares the mapping
+        (digest-keyed cache), and counts as a warm hit."""
+        copy = tmp_path / "copy.nmp"
+        copy.write_bytes(store_path.read_bytes())
+        with MiningService(workers=1) as service:
+            service.submit(CONFIG, store=str(store_path))
+            service._queue.join()
+            job = service.submit(CONFIG, store=str(copy))
+            service._queue.join()
+            assert job.tracer.totals().get(STORE_CACHE_HITS) == 1
+            assert service.stores.stats()["open_stores"] == 1
+
+
+class TestStoreCacheEviction:
+    def test_eviction_closes_stores(self, tmp_path):
+        paths = [
+            _make_store(tmp_path, f"s{i}.nmp", seed=100 + i,
+                        sequences=10)
+            for i in range(3)
+        ]
+        cache = StoreCache(capacity=2)
+        entries = [cache.get(str(path))[0] for path in paths]
+        # Capacity 2: the first entry was evicted and closed.
+        assert entries[0].store.closed
+        assert not entries[1].store.closed
+        assert not entries[2].store.closed
+        assert cache.stats() == {
+            "open_stores": 2, "capacity": 2, "hits": 0, "misses": 3,
+            "evictions": 1,
+        }
+        with pytest.raises(SequenceDatabaseError, match="closed"):
+            list(entries[0].store.scan())
+        cache.close()
+        assert all(entry.store.closed for entry in entries)
+
+    def test_service_close_releases_stores(self, store_path):
+        service = MiningService(workers=1)
+        service.submit(CONFIG, store=str(store_path))
+        service._queue.join()
+        entry, _hit = service.stores.get(str(store_path))
+        service.close()
+        assert entry.store.closed
+
+
+class TestServiceValidation:
+    def test_requires_exactly_one_input(self, store_path):
+        with MiningService(workers=1) as service:
+            with pytest.raises(ServiceError, match="exactly one"):
+                service.submit(CONFIG)
+            with pytest.raises(ServiceError, match="exactly one"):
+                service.submit(
+                    CONFIG, store=str(store_path), database=[[0, 1]]
+                )
+
+    def test_unknown_job_raises(self):
+        with MiningService(workers=1) as service:
+            with pytest.raises(ServiceError, match="unknown job"):
+                service.job("job-999")
+
+    def test_submit_after_close_raises(self, store_path):
+        service = MiningService(workers=1)
+        service.close()
+        with pytest.raises(ServiceError, match="shut down"):
+            service.submit(CONFIG, store=str(store_path))
+
+    def test_inline_digest_is_stable(self):
+        from repro.service.jobs import _inline_digest
+
+        a = SequenceDatabase([[0, 1, 2], [1, 2, 0]])
+        b = SequenceDatabase([[0, 1, 2], [1, 2, 0]])
+        c = SequenceDatabase([[0, 1, 2], [1, 2, 1]])
+        assert _inline_digest(a) == _inline_digest(b)
+        assert _inline_digest(a) != _inline_digest(c)
+
+
+class TestTracerThreadSafety:
+    def test_concurrent_status_snapshots_while_running(self, store_path):
+        """Hammer tracer.snapshot() from reader threads while jobs
+        record phases — the daemon's status endpoint does exactly
+        this."""
+        with MiningService(workers=2) as service:
+            stop = threading.Event()
+            errors = []
+
+            def poll(job):
+                while not stop.is_set():
+                    try:
+                        snapshot = job.tracer.snapshot()
+                        assert isinstance(snapshot, dict)
+                        job.status_dict()
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+
+            jobs = [
+                service.submit(dict(CONFIG, min_match=0.3 + 0.01 * i),
+                               store=str(store_path))
+                for i in range(4)
+            ]
+            readers = [
+                threading.Thread(target=poll, args=(job,))
+                for job in jobs for _ in range(2)
+            ]
+            for reader in readers:
+                reader.start()
+            service._queue.join()
+            stop.set()
+            for reader in readers:
+                reader.join(timeout=10.0)
+            assert not errors
+            assert all(job.state == "done" for job in jobs)
