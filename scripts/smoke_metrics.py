@@ -11,10 +11,10 @@ the standalone file.  One combination additionally runs with
 reach the report.  Finally the Phase-2 sample benchmark runs in
 ``--smoke`` mode (correctness gate only, no timing assertions) and its
 ``BENCH_phase2.json`` is copied next to the metrics files, followed by
-the scan I/O benchmark (``BENCH_io.json``) and the lattice-kernel
-benchmark (``BENCH_lattice.json``) in the same mode.  Everything is
-left in the output directory so the CI workflow can upload it as an
-artifact.
+the scan I/O benchmark (``BENCH_io.json``), the lattice-kernel
+benchmark (``BENCH_lattice.json``) and the delta-remining benchmark
+(``BENCH_delta.json``) in the same mode.  Everything is left in the
+output directory so the CI workflow can upload it as an artifact.
 
 Usage::
 
@@ -180,6 +180,17 @@ def main(argv=None) -> int:
         print("lattice kernel benchmark smoke failed", file=sys.stderr)
         return rc
     shutil.copy(bench_lattice.OUTPUT, out / "BENCH_lattice.json")
+
+    # Delta-remining benchmark, smoke mode: the refreshed border must
+    # be identical to the from-scratch border on a grown segmented
+    # store (no speedup gate), with BENCH_delta.json shipped alongside.
+    import bench_delta
+
+    rc = bench_delta.main(["--smoke"])
+    if rc != 0:
+        print("delta remining benchmark smoke failed", file=sys.stderr)
+        return rc
+    shutil.copy(bench_delta.OUTPUT, out / "BENCH_delta.json")
 
     print(f"all {len(COMBINATIONS) + 1} metrics reports valid; "
           f"artifacts in {out}/")

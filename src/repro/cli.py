@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Six subcommands cover the full workflow on text sequence files
+Seven subcommands cover the full workflow on text sequence files
 (the ``<id> TAB <space-separated symbol indices>`` format of
 :meth:`repro.core.sequence.SequenceDatabase.save`):
 
 * ``noisymine generate`` — synthesise a standard database with planted
   motifs and optionally a noisy test database next to it;
 * ``noisymine mine`` — run one of the six miners over a sequence file
-  and print the frequent patterns;
-* ``noisymine convert`` — translate between the text format and the
-  packed binary store (``.nmp``), which memory-maps on open and scans
-  an order of magnitude faster;
+  and print the frequent patterns; ``--checkpoint`` additionally
+  writes a delta-remining checkpoint for segmented stores;
+* ``noisymine remine`` — refresh a checkpointed result over a grown
+  segmented store in O(Δ) instead of re-running from scratch;
+* ``noisymine convert`` — translate between the text format, the
+  packed binary store (``.nmp``, memory-maps on open and scans an
+  order of magnitude faster) and the appendable segmented store
+  directory;
 * ``noisymine evaluate`` — compare two mining runs (e.g. match model on
   noisy data vs support model on clean data) by accuracy/completeness;
 * ``noisymine serve`` — run the long-lived mining daemon (HTTP job
@@ -48,7 +52,12 @@ from .datagen.noise import corrupt_uniform
 from .datagen.synthetic import generate_database
 from .errors import NoisyMineError
 from .eval.metrics import quality
-from .io import PackedSequenceStore, is_packed_store
+from .io import (
+    PackedSequenceStore,
+    SegmentedSequenceStore,
+    is_packed_store,
+    is_segmented_store,
+)
 from .obs import Tracer
 
 
@@ -184,13 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument(
         "--store",
-        choices=["auto", "text", "packed"],
+        choices=["auto", "text", "packed", "segmented"],
         default=None,
         help="on-disk representation of the input: 'text' streams and "
              "re-parses the text format every scan, 'packed' memory-maps "
              "a packed binary store (written by 'noisymine convert'), "
-             "'auto' sniffs the packed magic bytes; results are "
-             "identical either way "
+             "'segmented' opens an appendable segmented store directory, "
+             "'auto' sniffs (segment manifest, then packed magic bytes); "
+             "results are identical either way "
              "(default: $NOISYMINE_STORE, else 'auto')",
     )
     _add_mining_options(mine)
@@ -203,6 +213,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-json", default=None, metavar="PATH",
         help="also write the run's structured RunReport (per-phase spans, "
              "scan/cache/shard counters) to PATH as JSON",
+    )
+    mine.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="also write a delta-remining checkpoint (per-symbol match "
+             "sums + exact border sums) to PATH; requires a segmented "
+             "store input, and 'noisymine remine' refreshes it in O(Δ) "
+             "after appends",
+    )
+
+    remine = sub.add_parser(
+        "remine",
+        help="refresh a checkpointed mining result over a grown "
+             "segmented store (O(Δ) delta remining instead of a "
+             "from-scratch run)",
+    )
+    remine.add_argument(
+        "input", help="segmented store directory the checkpoint was "
+                      "taken on (after zero or more appends)",
+    )
+    remine.add_argument(
+        "--checkpoint", required=True, metavar="PATH",
+        help="checkpoint written by 'noisymine mine --checkpoint'; "
+             "refreshed in place after the remine (see --checkpoint-out)",
+    )
+    remine.add_argument(
+        "--checkpoint-out", default=None, metavar="PATH",
+        help="write the refreshed checkpoint here instead of "
+             "overwriting --checkpoint",
+    )
+    _add_mining_options(remine)
+    remine.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a table",
+    )
+    remine.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="also write the refresh's structured RunReport to PATH "
+             "as JSON",
     )
 
     serve = sub.add_parser(
@@ -236,7 +284,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "input",
-        help="packed-store path, resolved on the daemon's filesystem",
+        help="packed-store path or segmented-store directory, resolved "
+             "on the daemon's filesystem",
     )
     submit.add_argument(
         "--url", default="http://127.0.0.1:8765",
@@ -262,10 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
     conv.add_argument("output", help="path for the converted database")
     conv.add_argument(
         "--to",
-        choices=["packed", "text"],
+        choices=["packed", "text", "segmented"],
         default="packed",
         dest="target",
-        help="output representation (default: packed)",
+        help="output representation: 'packed' single-file store, "
+             "'segmented' appendable store directory, or 'text' "
+             "(default: packed)",
     )
 
     ev = sub.add_parser(
@@ -285,6 +336,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "mine":
             return _cmd_mine(args)
+        if args.command == "remine":
+            return _cmd_remine(args)
         if args.command == "convert":
             return _cmd_convert(args)
         if args.command == "evaluate":
@@ -351,6 +404,24 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     tracer = Tracer() if (args.json or args.metrics_json) else None
     miner = config.build_miner(len(database), tracer=tracer)
     result = miner.mine(database)
+    if args.checkpoint:
+        from .io import SegmentedSequenceStore
+        from .mining.delta import create_checkpoint
+
+        if not isinstance(database, SegmentedSequenceStore):
+            raise NoisyMineError(
+                "--checkpoint requires a segmented store input "
+                "(see 'noisymine convert --to segmented'): checkpoints "
+                "track segment lineage so 'remine' can refresh them "
+                "after appends"
+            )
+        checkpoint = create_checkpoint(
+            result, database, config.build_matrix(), config.min_match,
+            config_key=config.to_key(),
+            memory_capacity=config.memory_capacity,
+            engine=config.engine,
+        )
+        checkpoint.save(args.checkpoint)
     if args.metrics_json:
         if result.report is None:  # pragma: no cover - defensive
             raise NoisyMineError(
@@ -367,8 +438,66 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         for pattern in sorted(result.frequent):
             print(f"  {pattern.to_string():30s} "
                   f"match={result.frequent[pattern]:.4f}")
+        if args.checkpoint:
+            print(f"checkpoint written to {args.checkpoint}")
         if args.metrics_json:
             print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def _cmd_remine(args: argparse.Namespace) -> int:
+    from .io import SegmentedSequenceStore
+    from .mining.delta import MiningCheckpoint, delta_remine
+
+    config = _config_from_args(args)
+    checkpoint = MiningCheckpoint.load(args.checkpoint)
+    tracer = Tracer() if (args.json or args.metrics_json) else None
+    with SegmentedSequenceStore.open(args.input) as store:
+        outcome = delta_remine(
+            store,
+            config.build_matrix(),
+            checkpoint,
+            constraints=config.constraints(),
+            memory_capacity=config.memory_capacity,
+            engine=config.engine,
+            tracer=tracer,
+            lattice=config.lattice,
+            config_key=config.to_key(),
+        )
+    out_path = args.checkpoint_out or args.checkpoint
+    outcome.checkpoint.save(out_path)
+    result = outcome.result
+    if args.metrics_json:
+        if result.report is None:  # pragma: no cover - defensive
+            raise NoisyMineError(
+                "the refresh produced no metrics report; cannot honour "
+                "--metrics-json"
+            )
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(result.report.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        payload = json_payload(config, result)
+        payload["delta"] = {
+            "delta_sequences": outcome.delta_sequences,
+            "full_scans": outcome.full_scans,
+            "reprobed": outcome.reprobed,
+            "crosser_candidates": outcome.crosser_candidates,
+            "checkpoint": out_path,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        print(
+            f"  refreshed over {outcome.delta_sequences} appended "
+            f"sequences ({outcome.full_scans} full-store scans, "
+            f"{outcome.reprobed} border re-probes, "
+            f"{outcome.crosser_candidates} crosser candidates)"
+        )
+        for element in sorted(result.border.elements):
+            print(f"  {element.to_string():30s} "
+                  f"match={result.frequent[element]:.4f}")
+        print(f"checkpoint written to {out_path}")
     return 0
 
 
@@ -417,27 +546,35 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
-    if is_packed_store(args.input):
+    if is_segmented_store(args.input):
+        source = SegmentedSequenceStore.open(args.input)
+    elif is_packed_store(args.input):
         source = PackedSequenceStore.open(args.input)
-        n = len(source)
-        if args.target == "text":
-            source.save_text(args.output)
-            print(f"wrote {n} sequences to {args.output} (text)")
-            return 0
-        # packed -> packed is a verified re-save (detects bit rot).
-        source.verify()
-        store = PackedSequenceStore.from_database(source, args.output)
     else:
         source = FileSequenceDatabase(args.input)
-        n = len(source)
-        if args.target == "text":
-            # text -> text round-trips through the parser, which
-            # normalises whitespace and validates every row.
-            store = PackedSequenceStore.from_database(source)
-            store.save_text(args.output)
-            print(f"wrote {n} sequences to {args.output} (text)")
-            return 0
-        store = PackedSequenceStore.from_database(source, args.output)
+    n = len(source)
+    if args.target == "text":
+        if isinstance(source, PackedSequenceStore):
+            source.save_text(args.output)
+        else:
+            # Round-trip through the packed builder, which normalises
+            # whitespace and validates every row.
+            PackedSequenceStore.from_database(source).save_text(args.output)
+        print(f"wrote {n} sequences to {args.output} (text)")
+        return 0
+    if args.target == "segmented":
+        store = SegmentedSequenceStore.create(args.output, source)
+        print(
+            f"wrote {len(store)} sequences ({store.total_symbols()} "
+            f"symbols) to {args.output} (segmented, 1 segment, "
+            f"digest {store.digest[:12]})"
+        )
+        store.close()
+        return 0
+    if isinstance(source, PackedSequenceStore):
+        # packed -> packed is a verified re-save (detects bit rot).
+        source.verify()
+    store = PackedSequenceStore.from_database(source, args.output)
     print(
         f"wrote {len(store)} sequences ({store.total_symbols()} symbols) "
         f"to {args.output} (packed, digest {store.digest[:12]})"

@@ -42,7 +42,12 @@ from .core.sequence import FileSequenceDatabase
 from .engine import MatchEngine, get_engine, resolve_engine_name
 from .engine.resident import ResidentSampleEvaluator, resident_from_env
 from .errors import MiningError, NoisyMineError
-from .io import PackedSequenceStore, is_packed_store
+from .io import (
+    PackedSequenceStore,
+    SegmentedSequenceStore,
+    is_packed_store,
+    is_segmented_store,
+)
 from .mining.depthfirst import DepthFirstMiner
 from .mining.levelwise import LevelwiseMiner
 from .mining.maxminer import MaxMiner
@@ -54,7 +59,7 @@ from .obs import Tracer
 #: Environment variable selecting the on-disk store representation.
 STORE_ENV_VAR = "NOISYMINE_STORE"
 
-STORE_MODES = ("auto", "text", "packed")
+STORE_MODES = ("auto", "text", "packed", "segmented")
 
 #: All six miners, in the CLI's historical choice order.
 ALGORITHMS = (
@@ -80,18 +85,22 @@ def resolve_store_mode(spec: Optional[str] = None) -> str:
     if spec not in STORE_MODES:
         raise NoisyMineError(
             f"invalid {STORE_ENV_VAR} value {spec!r}: "
-            "expected 'auto', 'text' or 'packed'"
+            f"expected one of {', '.join(STORE_MODES)}"
         )
     return spec
 
 
 def open_database(
     path: Union[str, os.PathLike], store: str = "auto"
-) -> Union[PackedSequenceStore, FileSequenceDatabase]:
+) -> Union[
+    PackedSequenceStore, SegmentedSequenceStore, FileSequenceDatabase
+]:
     """Open *path* under one of the :data:`STORE_MODES`.
 
-    ``auto`` sniffs the packed magic bytes; results are identical
-    across representations, only scan throughput differs.
+    ``auto`` sniffs: a directory with a segment manifest opens
+    segmented, a file with the packed magic bytes opens packed, and
+    anything else reads as text.  Results are identical across
+    representations, only scan throughput (and appendability) differs.
     """
     if store not in STORE_MODES:
         raise NoisyMineError(
@@ -99,7 +108,14 @@ def open_database(
             f"{', '.join(STORE_MODES)}"
         )
     if store == "auto":
-        store = "packed" if is_packed_store(path) else "text"
+        if is_segmented_store(path):
+            store = "segmented"
+        elif is_packed_store(path):
+            store = "packed"
+        else:
+            store = "text"
+    if store == "segmented":
+        return SegmentedSequenceStore.open(path)
     if store == "packed":
         return PackedSequenceStore.open(path)
     return FileSequenceDatabase(path)

@@ -21,15 +21,27 @@ from .packed import (
     is_packed_store,
     peek_store_digest,
 )
+from .segments import (
+    MANIFEST_NAME,
+    SegmentedSequenceStore,
+    is_segmented_store,
+    manifest_digest,
+    peek_manifest_digest,
+)
 
 __all__ = [
     "DEFAULT_SCAN_CHUNK_ROWS",
     "HEADER_BYTES",
+    "MANIFEST_NAME",
     "PackedSequenceStore",
     "STORE_MAGIC",
     "STORE_VERSION",
+    "SegmentedSequenceStore",
     "SequenceChunk",
     "is_packed_store",
+    "is_segmented_store",
     "iter_chunks",
+    "manifest_digest",
+    "peek_manifest_digest",
     "peek_store_digest",
 ]

@@ -20,6 +20,12 @@ from .collapsing import (
     select_probe_batch,
 )
 from .counting import count_matches_batched, validate_memory_capacity
+from .delta import (
+    DeltaOutcome,
+    MiningCheckpoint,
+    create_checkpoint,
+    delta_remine,
+)
 from .depthfirst import DepthFirstMiner
 from .levelwise import LevelwiseMiner, mine_support
 from .maxminer import MaxMiner
@@ -46,6 +52,10 @@ __all__ = [
     "select_probe_batch",
     "count_matches_batched",
     "validate_memory_capacity",
+    "DeltaOutcome",
+    "MiningCheckpoint",
+    "create_checkpoint",
+    "delta_remine",
     "DepthFirstMiner",
     "LevelwiseMiner",
     "mine_support",

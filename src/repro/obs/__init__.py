@@ -23,8 +23,11 @@ from .report import (
 )
 from .tracer import (
     AMBIGUOUS_REMAINING,
+    BORDER_REPROBES,
     CANDIDATE_GEN_SECONDS,
     CANDIDATES_GENERATED,
+    DELTA_PATTERNS_COUNTED,
+    DELTA_SCANS,
     FACTOR_CACHE_EVICTIONS,
     FACTOR_CACHE_HITS,
     FACTOR_CACHE_MISSES,
@@ -60,8 +63,11 @@ from .tracer import (
 
 __all__ = [
     "AMBIGUOUS_REMAINING",
+    "BORDER_REPROBES",
     "CANDIDATE_GEN_SECONDS",
     "CANDIDATES_GENERATED",
+    "DELTA_PATTERNS_COUNTED",
+    "DELTA_SCANS",
     "FACTOR_CACHE_EVICTIONS",
     "FACTOR_CACHE_HITS",
     "FACTOR_CACHE_MISSES",

@@ -74,6 +74,9 @@ CANDIDATE_GEN_SECONDS = "candidate_gen_seconds"
 STORE_CACHE_HITS = "store_cache_hits"
 STORE_CACHE_MISSES = "store_cache_misses"
 RESULT_MEMO_HITS = "result_memo_hits"
+DELTA_SCANS = "delta_scans"
+DELTA_PATTERNS_COUNTED = "delta_patterns_counted"
+BORDER_REPROBES = "border_reprobes"
 
 #: The disk-resident backends' lifetime I/O accumulators, in the order
 #: they are snapshotted.  ``io_chunk_seconds`` is a float counter —

@@ -3,20 +3,32 @@
 The whole point of running a daemon instead of a one-shot CLI is that
 expensive state survives across jobs:
 
-* :class:`StoreCache` keeps :class:`~repro.io.PackedSequenceStore`
-  instances memory-mapped between requests, keyed by **content
-  digest** — two paths holding identical bytes share one mapping, and
-  a re-submitted path is recognised by a 64-byte header peek (or a
-  plain ``stat`` when the file is unchanged) without re-opening
-  anything.  Each entry also owns per-store execution state: private
-  engine instances (so concurrent jobs on different stores never share
-  a factor cache or worker pool) and one warm
-  :class:`~repro.engine.resident.ResidentSampleEvaluator` whose pinned
-  sample and plane store carry over to the next job on the same store.
+* :class:`StoreCache` keeps :class:`~repro.io.PackedSequenceStore` and
+  :class:`~repro.io.SegmentedSequenceStore` instances memory-mapped
+  between requests, keyed by **content digest** — two paths holding
+  identical bytes share one mapping.  Every lookup re-peeks the
+  store's digest from disk (a 64-byte header read, or the segment
+  manifest): a same-size in-place rewrite is recognised immediately,
+  a path is never served stale content, and the cached ``stat``
+  signature is purely observability.  Each entry also owns per-store
+  execution state: private engine instances (so concurrent jobs on
+  different stores never share a factor cache or worker pool) and one
+  warm :class:`~repro.engine.resident.ResidentSampleEvaluator` whose
+  pinned sample and plane store carry over to the next job on the
+  same store.
+
+  Entries are **refcount-pinned** while a job runs on them
+  (:meth:`StoreCache.acquire` / :meth:`StoreEntry.release`): LRU
+  eviction of a pinned entry defers the actual ``close()`` until the
+  last holder releases, so an mmap'd store can never be unmapped
+  under an in-flight scan.
+
 * :class:`ResultMemo` maps ``(store digest, canonical config key)`` to
   a finished job's result payload, so resubmitting an identical job is
-  free.  Only deterministic jobs are memoized (the caller checks
-  :attr:`repro.config.MiningConfig.memoizable`).
+  free.  For a segmented store the digest is the **manifest digest**,
+  which changes on every append — the memo is delta-aware without any
+  invalidation code.  Only deterministic jobs are memoized (the caller
+  checks :attr:`repro.config.MiningConfig.memoizable`).
 
 Both caches are LRU with small fixed capacities, thread-safe, and
 evict through the owning objects' ``close()`` hooks — an evicted store
@@ -28,17 +40,42 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..engine import MatchEngine, create_engine
 from ..engine.resident import ResidentSampleEvaluator
-from ..io import PackedSequenceStore, peek_store_digest
+from ..errors import ServiceError
+from ..io import (
+    MANIFEST_NAME,
+    PackedSequenceStore,
+    SegmentedSequenceStore,
+    peek_manifest_digest,
+    peek_store_digest,
+)
 
 #: Default number of stores kept open at once.
 DEFAULT_STORE_CAPACITY = 4
 
 #: Default number of memoized results.
 DEFAULT_MEMO_ENTRIES = 128
+
+AnyStore = Union[PackedSequenceStore, SegmentedSequenceStore]
+
+
+def peek_path_digest(path: str) -> str:
+    """The content digest of a store path of either representation:
+    manifest digest for a segmented directory, header digest for a
+    packed file."""
+    if os.path.isdir(path):
+        return peek_manifest_digest(path)
+    return peek_store_digest(path)
+
+
+def open_store_path(path: str) -> AnyStore:
+    """Open a store path of either representation."""
+    if os.path.isdir(path):
+        return SegmentedSequenceStore.open(path)
+    return PackedSequenceStore.open(path)
 
 
 class StoreEntry:
@@ -48,15 +85,25 @@ class StoreEntry:
     bookkeeping on a store (and the engines' caches) is per-instance
     state that two concurrent miners must not interleave.  Jobs on
     *different* entries run fully in parallel.
+
+    Lifetime: the refcount (``acquire()``/``release()``) pins the
+    entry while a job uses it.  Eviction while pinned marks the entry
+    close-pending instead of closing it; the final ``release()``
+    performs the deferred close.  The refcount is guarded by its own
+    mutex so release never has to take the job-serialising ``lock``.
     """
 
-    def __init__(self, store: PackedSequenceStore):
+    def __init__(self, store: AnyStore):
         self.store = store
         self.digest = store.digest
         self.lock = threading.Lock()
         self.hits = 0
         self._engines: Dict[str, MatchEngine] = {}
         self._resident: Optional[ResidentSampleEvaluator] = None
+        self._ref_mutex = threading.Lock()
+        self._refcount = 0
+        self._close_pending = False
+        self._closed = False
 
     def engine_for(self, name: str) -> MatchEngine:
         """This entry's private instance of the named backend.
@@ -89,7 +136,68 @@ class StoreEntry:
         job on an unchanged sample does not increment this."""
         return self._resident.repins if self._resident is not None else 0
 
+    # -- pinning --------------------------------------------------------------
+
+    @property
+    def refcount(self) -> int:
+        with self._ref_mutex:
+            return self._refcount
+
+    @property
+    def close_pending(self) -> bool:
+        with self._ref_mutex:
+            return self._close_pending
+
+    def _acquire(self) -> None:
+        """Pin the entry (called by :meth:`StoreCache.acquire` under
+        the cache lock, so pin-vs-evict is ordered)."""
+        with self._ref_mutex:
+            if self._closed:
+                raise ServiceError(
+                    f"store entry {self.digest} is closed"
+                )
+            self._refcount += 1
+
+    def release(self) -> None:
+        """Drop one pin; performs a deferred eviction close when this
+        was the last holder of a close-pending entry."""
+        with self._ref_mutex:
+            if self._refcount <= 0:
+                raise ServiceError(
+                    f"store entry {self.digest} released more times "
+                    "than acquired"
+                )
+            self._refcount -= 1
+            should_close = self._refcount == 0 and self._close_pending
+        if should_close:
+            with self.lock:
+                self._close_now()
+
+    def close_or_defer(self) -> bool:
+        """Close now if unpinned, else mark close-pending.
+
+        Returns ``True`` when the entry was closed immediately.  The
+        caller must not hold the cache lock (close waits on the entry's
+        job lock).
+        """
+        with self._ref_mutex:
+            if self._refcount > 0:
+                self._close_pending = True
+                return False
+        with self.lock:
+            self._close_now()
+        return True
+
     def close(self) -> None:
+        """Unconditional close (tests / direct use); daemon paths go
+        through :meth:`close_or_defer` + :meth:`release`."""
+        self._close_now()
+
+    def _close_now(self) -> None:
+        with self._ref_mutex:
+            if self._closed:
+                return
+            self._closed = True
         for engine in self._engines.values():
             engine.close()
         self._engines.clear()
@@ -100,14 +208,16 @@ class StoreEntry:
 
 
 class StoreCache:
-    """Digest-keyed LRU of open packed stores.
+    """Digest-keyed LRU of open sequence stores.
 
-    ``get(path)`` is the only lookup: it stats the path, peeks the
-    64-byte header digest when the stat changed, and returns the live
-    entry for that content — opening the store only on a genuine miss.
-    Eviction closes the entry (waiting for any job that still holds
-    its lock), so the mmap count stays bounded however many distinct
-    stores a daemon sees.
+    ``get(path)`` / ``acquire(path)`` are the lookups: both peek the
+    store's on-disk digest (64-byte header or segment manifest — never
+    trusting a ``stat`` signature, which misses same-size rewrites
+    within mtime granularity) and return the live entry for that
+    content, opening the store only on a genuine miss.  ``acquire``
+    additionally pins the entry; eviction defers closing pinned
+    entries to the final ``release()``, so the mmap count stays
+    bounded without ever unmapping a store under a running job.
     """
 
     def __init__(self, capacity: int = DEFAULT_STORE_CAPACITY):
@@ -117,57 +227,106 @@ class StoreCache:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, StoreEntry]" = OrderedDict()
-        #: abspath -> (digest, mtime_ns, size) of the last open/peek.
+        #: abspath -> (digest, mtime_ns, size) of the last open/peek
+        #: (observability only — the digest is re-peeked every lookup).
         self._paths: Dict[str, Tuple[str, int, int]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, path: str) -> Tuple[StoreEntry, bool]:
-        """The warm entry for *path*: ``(entry, was_hit)``.
+        """The warm entry for *path*: ``(entry, was_hit)``, unpinned."""
+        return self._lookup(path, pin=False)
 
-        A hit means the store was **not** re-opened: either the path is
-        unchanged since last time (stat match) or its header digest
-        names content that is already mapped under another path.
+    def acquire(self, path: str) -> Tuple[StoreEntry, bool]:
+        """The warm entry for *path*, pinned: ``(entry, was_hit)``.
+
+        The caller owns one reference and must call
+        :meth:`StoreEntry.release` when done (jobs do so in a
+        ``finally``).  Pinning happens under the cache lock, so an
+        entry can never be evicted-and-closed between lookup and pin.
         """
+        return self._lookup(path, pin=True)
+
+    def _lookup(self, path: str, pin: bool) -> Tuple[StoreEntry, bool]:
         path = os.path.abspath(os.fspath(path))
-        stat = os.stat(path)
+        stat_path = (
+            os.path.join(path, MANIFEST_NAME)
+            if os.path.isdir(path) else path
+        )
+        stat = os.stat(stat_path)
         signature = (stat.st_mtime_ns, stat.st_size)
+        # Always re-peek the on-disk digest: a same-size in-place
+        # rewrite within mtime granularity leaves (mtime_ns, size)
+        # unchanged, and serving the cached digest would mine stale
+        # content.  The peek is a 64-byte read (or one small manifest),
+        # which is noise next to a mining job.
+        digest = peek_path_digest(path)
         evicted = []
         with self._lock:
-            cached = self._paths.get(path)
-            digest = None
-            if cached is not None and cached[1:] == signature:
-                digest = cached[0]
-            if digest is None or digest not in self._entries:
-                digest = peek_store_digest(path)
-                self._paths[path] = (digest, *signature)
+            self._paths[path] = (digest, *signature)
             entry = self._entries.get(digest)
             if entry is not None:
                 self._entries.move_to_end(digest)
                 entry.hits += 1
                 self.hits += 1
+                if pin:
+                    entry._acquire()
                 return entry, True
-            entry = StoreEntry(PackedSequenceStore.open(path))
+            entry = StoreEntry(open_store_path(path))
             self._entries[entry.digest] = entry
             self._paths[path] = (entry.digest, *signature)
             self.misses += 1
+            if pin:
+                entry._acquire()
             while len(self._entries) > self.capacity:
                 _digest, old = self._entries.popitem(last=False)
                 self.evictions += 1
                 evicted.append(old)
         # Close outside the cache lock: an evicted entry may still be
-        # mid-job; close() waits on the entry lock without stalling
-        # unrelated get() calls.
+        # mid-job; close_or_defer() leaves pinned entries open until
+        # their last release() and never stalls unrelated lookups.
         for old in evicted:
-            with old.lock:
-                old.close()
+            old.close_or_defer()
         return entry, False
+
+    def entry_by_digest(self, digest: str) -> Optional[StoreEntry]:
+        """The open entry with the given content digest, pinned — or
+        ``None``.  The caller must ``release()`` a returned entry."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return None
+            self._entries.move_to_end(digest)
+            entry._acquire()
+            return entry
+
+    def rekey(self, entry: StoreEntry, new_digest: str) -> None:
+        """Re-index *entry* after its store's content changed (append).
+
+        The entry stays warm — engines, resident planes and the mmap'd
+        segments carry over; only the cache key and any path aliases
+        move to the new digest.
+        """
+        with self._lock:
+            old_digest = entry.digest
+            if self._entries.get(old_digest) is entry:
+                del self._entries[old_digest]
+            entry.digest = new_digest
+            self._entries[new_digest] = entry
+            self._entries.move_to_end(new_digest)
+            for path, (digest, mtime, size) in list(self._paths.items()):
+                if digest == old_digest:
+                    self._paths[path] = (new_digest, mtime, size)
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
+            pinned = sum(
+                1 for e in self._entries.values() if e.refcount > 0
+            )
             return {
                 "open_stores": len(self._entries),
+                "pinned_stores": pinned,
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
@@ -175,19 +334,26 @@ class StoreCache:
             }
 
     def close(self) -> None:
-        """Close every cached store (daemon shutdown)."""
+        """Close every cached store (daemon shutdown).
+
+        Pinned entries (a job still running during shutdown) are
+        deferred to their final ``release()`` like any eviction.
+        """
         with self._lock:
             entries = list(self._entries.values())
             self._entries.clear()
             self._paths.clear()
         for entry in entries:
-            with entry.lock:
-                entry.close()
+            entry.close_or_defer()
 
 
 class ResultMemo:
     """LRU of finished job payloads keyed by
-    ``(store digest, canonical config key)``."""
+    ``(store digest, canonical config key)``.
+
+    Segmented stores key by manifest digest, so every append starts a
+    fresh memo lineage automatically.
+    """
 
     def __init__(self, max_entries: int = DEFAULT_MEMO_ENTRIES):
         if max_entries < 0:
@@ -235,4 +401,6 @@ __all__ = [
     "ResultMemo",
     "StoreCache",
     "StoreEntry",
+    "open_store_path",
+    "peek_path_digest",
 ]

@@ -94,6 +94,22 @@ class ServiceClient:
             body["ids"] = [int(i) for i in ids]
         return self._request("POST", "/jobs", body)
 
+    def append(
+        self,
+        digest: str,
+        database: Sequence[Sequence[int]],
+        ids: Optional[Sequence[int]] = None,
+    ) -> dict:
+        """``POST /stores/<digest>/append`` — append rows to the open
+        segmented store with that manifest digest; returns the new
+        digest document."""
+        body: dict = {
+            "database": [list(map(int, row)) for row in database],
+        }
+        if ids is not None:
+            body["ids"] = [int(i) for i in ids]
+        return self._request("POST", f"/stores/{digest}/append", body)
+
     def status(self, job_id: str) -> dict:
         """``GET /jobs/<id>`` — state plus live phase progress."""
         return self._request("GET", f"/jobs/{job_id}")

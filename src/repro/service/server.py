@@ -14,6 +14,13 @@ exposing the daemon protocol:
                           :meth:`~repro.obs.Tracer.snapshot` tree)
 ``GET /jobs/<id>/result`` the finished payload (``409`` while queued/running,
                           ``500`` if the job failed, ``404`` if unknown)
+``POST /stores/<digest>/append``
+                          append rows to the open *segmented* store whose
+                          manifest digest is ``<digest>``; body is JSON with
+                          ``database`` (rows) and optional ``ids``; answers
+                          ``200`` with the new manifest digest (``404`` for an
+                          unknown digest, ``409`` for a non-segmented store or
+                          a rejected append)
 ``GET /healthz``          liveness, uptime, job counts, store-cache and
                           result-memo statistics
 ========================  ======================================================
@@ -129,7 +136,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, job.result_dict())
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path.rstrip("/") != "/jobs":
+        path = self.path.rstrip("/")
+        if path.startswith("/stores/") and path.endswith("/append"):
+            digest = path[len("/stores/"):-len("/append")]
+            if digest and "/" not in digest:
+                self._post_append(digest)
+            else:
+                self._send_error_json(404, f"no route for {self.path}")
+            return
+        if path != "/jobs":
             self._send_error_json(404, f"no route for {self.path}")
             return
         payload = self._read_body()
@@ -155,6 +170,30 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, f"cannot stat store: {exc}")
             return
         self._send_json(202, job.status_dict())
+
+    def _post_append(self, digest: str) -> None:
+        payload = self._read_body()
+        if payload is None:
+            return
+        database = payload.get("database")
+        if not isinstance(database, list) or not database:
+            self._send_error_json(
+                400, "'database' must be a non-empty list of rows"
+            )
+            return
+        try:
+            outcome = self.server.service.append_to_store(
+                digest, database, ids=payload.get("ids")
+            )
+        except ServiceError as exc:
+            message = str(exc)
+            status = 404 if message.startswith("no open store") else 409
+            self._send_error_json(status, message)
+            return
+        except Exception as exc:  # noqa: BLE001 - keep the daemon alive
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            return
+        self._send_json(200, outcome)
 
 
 class MiningServer(ThreadingHTTPServer):

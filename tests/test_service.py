@@ -3,10 +3,14 @@
 Covers the full warm-state contract: HTTP submit → poll → result
 parity with a direct CLI run, result memoization on identical
 resubmission, store-cache warm hits, concurrent jobs on different
-stores staying isolated, and LRU eviction closing evicted stores.
+stores staying isolated, LRU eviction closing evicted stores (with
+refcount pinning deferring the close past in-flight jobs), segmented
+store jobs and the append endpoint, job-state transition invariants
+under concurrent readers, and deterministic service shutdown.
 """
 
 import json
+import os
 import threading
 
 import pytest
@@ -16,7 +20,7 @@ from repro.core.sequence import SequenceDatabase
 from repro.datagen.synthetic import generate_database
 from repro.datagen.motifs import random_motif
 from repro.errors import SequenceDatabaseError, ServiceError
-from repro.io import PackedSequenceStore
+from repro.io import PackedSequenceStore, SegmentedSequenceStore
 from repro.obs import RESULT_MEMO_HITS, STORE_CACHE_HITS, STORE_CACHE_MISSES
 from repro.service import (
     MiningService,
@@ -24,16 +28,28 @@ from repro.service import (
     StoreCache,
     start_server,
 )
+from repro.service.jobs import SHUTDOWN_ERROR
 
 import numpy as np
 
 
-def _make_store(tmp_path, name, seed, sequences=40, alphabet=6):
+def _make_database(seed, sequences=40, alphabet=6):
     rng = np.random.default_rng(seed)
     motifs = [random_motif(3, alphabet, 0.5, rng)]
-    database = generate_database(sequences, 15, alphabet, motifs, rng=rng)
+    return generate_database(sequences, 15, alphabet, motifs, rng=rng)
+
+
+def _make_store(tmp_path, name, seed, sequences=40, alphabet=6):
+    database = _make_database(seed, sequences, alphabet)
     path = tmp_path / name
     PackedSequenceStore.from_database(database, path)
+    return path
+
+
+def _make_segmented_store(tmp_path, name, seed, sequences=40, alphabet=6):
+    database = _make_database(seed, sequences, alphabet)
+    path = tmp_path / name
+    SegmentedSequenceStore.create(path, database).close()
     return path
 
 
@@ -291,8 +307,8 @@ class TestStoreCacheEviction:
         assert not entries[1].store.closed
         assert not entries[2].store.closed
         assert cache.stats() == {
-            "open_stores": 2, "capacity": 2, "hits": 0, "misses": 3,
-            "evictions": 1,
+            "open_stores": 2, "pinned_stores": 0, "capacity": 2,
+            "hits": 0, "misses": 3, "evictions": 1,
         }
         with pytest.raises(SequenceDatabaseError, match="closed"):
             list(entries[0].store.scan())
@@ -375,3 +391,306 @@ class TestTracerThreadSafety:
                 reader.join(timeout=10.0)
             assert not errors
             assert all(job.state == "done" for job in jobs)
+
+
+class TestEvictionPinning:
+    """Regression: LRU eviction used to close an mmap'd store even
+    while a job was scanning it; entries are now refcount-pinned and
+    eviction defers the close to the last release."""
+
+    def test_pinned_entry_survives_eviction(self, tmp_path):
+        paths = [
+            _make_store(tmp_path, f"pin{i}.nmp", seed=300 + i,
+                        sequences=10)
+            for i in range(2)
+        ]
+        cache = StoreCache(capacity=1)
+        entry, _ = cache.acquire(str(paths[0]))
+        try:
+            cache.get(str(paths[1]))  # evicts the pinned entry
+            assert entry.close_pending
+            assert not entry.store.closed
+            # The in-flight "job" keeps scanning the evicted store.
+            assert len(list(entry.store.scan())) == 10
+        finally:
+            entry.release()
+        # The deferred close ran at the last release.
+        assert entry.store.closed
+        cache.close()
+
+    def test_release_is_guarded_against_overrelease(self, tmp_path):
+        path = _make_store(tmp_path, "pin.nmp", seed=310, sequences=10)
+        cache = StoreCache(capacity=1)
+        entry, _ = cache.acquire(str(path))
+        entry.release()
+        with pytest.raises(ServiceError, match="release"):
+            entry.release()
+        cache.close()
+
+    def test_slow_jobs_survive_forced_eviction(self, tmp_path):
+        """Service-level: capacity-1 cache, two stores, two workers —
+        every job forces an eviction of the other store while its job
+        may still be running.  Every job must still complete."""
+        paths = [
+            _make_store(tmp_path, f"evict{i}.nmp", seed=320 + i)
+            for i in range(2)
+        ]
+        with MiningService(workers=2, store_capacity=1) as service:
+            jobs = [
+                service.submit(
+                    dict(CONFIG, min_match=0.3 + 0.02 * rep),
+                    store=str(path),
+                )
+                for rep in range(3)
+                for path in paths
+            ]
+            service._queue.join()
+            assert all(job.state == "done" for job in jobs), [
+                job.error for job in jobs
+            ]
+            assert service.stores.stats()["evictions"] >= 1
+
+
+class TestSameSizeRewrite:
+    """Regression: the cache keyed freshness on ``(mtime_ns, size)``,
+    so rewriting a store in place with same-size content (and a
+    filesystem-granularity mtime collision) served the stale mapping.
+    The cache now re-peeks the header digest on every lookup."""
+
+    @staticmethod
+    def _rewrite_same_size(path, database):
+        """Overwrite *path* with a same-size store and force the exact
+        old ``(mtime_ns, size)`` stat signature."""
+        stat = os.stat(path)
+        PackedSequenceStore.from_database(database, path)
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert os.path.getsize(path) == stat.st_size
+
+    def test_cache_detects_same_size_rewrite(self, tmp_path):
+        path = tmp_path / "rw.nmp"
+        PackedSequenceStore.from_database(
+            SequenceDatabase([[0, 1, 2], [1, 2, 0]]), path
+        )
+        cache = StoreCache(capacity=2)
+        first, _ = cache.get(str(path))
+        old_digest = first.digest
+        self._rewrite_same_size(
+            str(path), SequenceDatabase([[2, 1, 0], [0, 2, 1]])
+        )
+        second, _ = cache.get(str(path))
+        assert second.digest != old_digest
+        assert [list(row) for _sid, row in second.store.scan()] == [
+            [2, 1, 0], [0, 2, 1],
+        ]
+        cache.close()
+
+    def test_service_mines_rewritten_content(self, tmp_path):
+        path = tmp_path / "rw2.nmp"
+        original = _make_database(seed=42)
+        PackedSequenceStore.from_database(original, path)
+        # Same shape, different content: permute every symbol, so the
+        # packed file is byte-for-byte the same size.
+        permuted = SequenceDatabase(
+            [(np.asarray(original.sequence(sid)) + 1) % 6
+             for sid in original.ids],
+            ids=list(original.ids),
+        )
+        config = dict(CONFIG, noise=0.0)
+        with MiningService(workers=1) as service:
+            first = service.submit(config, store=str(path))
+            service._queue.join()
+            self._rewrite_same_size(str(path), permuted)
+            second = service.submit(config, store=str(path))
+            service._queue.join()
+            assert first.state == "done" and second.state == "done"
+            assert second.store_digest != first.store_digest
+            assert not second.memo_hit
+
+
+class TestJobStateInvariants:
+    """Regression: ``status_dict()`` could observe ``state=failed``
+    with ``error=None`` (state was published before the error); the
+    per-job lock now makes every transition atomic."""
+
+    def test_failed_never_observed_without_error(self, store_path):
+        with MiningService(workers=2) as service:
+            stop = threading.Event()
+            violations = []
+
+            def poll(job):
+                while not stop.is_set():
+                    doc = job.status_dict()
+                    if doc["state"] == "failed" and doc["error"] is None:
+                        violations.append(("failed without error", doc))
+                        return
+                    if (doc["state"] in ("failed", "done")
+                            and doc["finished_at"] is None):
+                        violations.append(("terminal without time", doc))
+                        return
+
+            # alphabet=2 < the store's symbols: every job fails inside
+            # the miner, exercising the failure transition.
+            jobs = [
+                service.submit(
+                    {"min_match": 0.4, "algorithm": "levelwise",
+                     "alphabet": 2},
+                    store=str(store_path),
+                )
+                for _ in range(6)
+            ]
+            readers = [
+                threading.Thread(target=poll, args=(job,))
+                for job in jobs for _ in range(2)
+            ]
+            for reader in readers:
+                reader.start()
+            service._queue.join()
+            stop.set()
+            for reader in readers:
+                reader.join(timeout=10.0)
+            assert not violations
+            for job in jobs:
+                assert job.state == "failed"
+                assert job.error is not None
+                assert job.finished_at is not None
+
+    def test_terminal_states_are_sticky(self):
+        from repro.config import MiningConfig
+        from repro.service.jobs import Job
+
+        job = Job(id="job-x", config=MiningConfig(min_match=0.5))
+        assert job.mark_running()
+        job.mark_failed("boom")
+        assert not job.mark_failed("later")  # first error wins
+        assert job.error == "boom"
+        assert not job.mark_running()
+
+
+class TestServiceShutdown:
+    """Regression: ``close()`` queued a single poison pill regardless
+    of worker count and silently dropped queued jobs; it now drains
+    the queue into FAILED jobs, poisons each worker exactly once, and
+    verifies every worker thread actually exited."""
+
+    def test_close_fails_queued_jobs(self, store_path):
+        service = MiningService(workers=1)
+        workers = list(service._workers)
+        started = threading.Event()
+        release = threading.Event()
+        original_run = service._run
+
+        def gated_run(job):
+            started.set()
+            release.wait(timeout=30.0)
+            original_run(job)
+
+        service._run = gated_run
+        running = service.submit(CONFIG, store=str(store_path))
+        assert started.wait(timeout=10.0)
+        queued = [
+            service.submit(CONFIG, database=[[0, 1, 2], [1, 2, 0]])
+            for _ in range(3)
+        ]
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        release.set()
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()
+        # The running job finished; the queued ones failed loudly.
+        assert running.state == "done"
+        for job in queued:
+            assert job.state == "failed"
+            assert job.error == SHUTDOWN_ERROR
+            assert job.finished_at is not None
+        # Every worker exited and the pool is gone.
+        assert not any(thread.is_alive() for thread in workers)
+        assert service._workers == []
+
+    def test_close_is_idempotent(self):
+        service = MiningService(workers=2)
+        service.close()
+        service.close()
+
+    def test_all_workers_get_poisoned(self):
+        service = MiningService(workers=4)
+        workers = list(service._workers)
+        service.close()
+        assert not any(thread.is_alive() for thread in workers)
+
+
+class TestSegmentedStores:
+    @pytest.fixture(scope="class")
+    def seg_path(self, tmp_path_factory):
+        return _make_segmented_store(
+            tmp_path_factory.mktemp("seg"), "segstore", seed=11
+        )
+
+    def test_parity_with_packed_store(self, store_path, seg_path):
+        """Same seed, same rows: a segmented-store job mines exactly
+        what the packed-store job mines."""
+        with MiningService(workers=1) as service:
+            packed = service.submit(CONFIG, store=str(store_path))
+            segmented = service.submit(CONFIG, store=str(seg_path))
+            service._queue.join()
+            assert packed.state == "done", packed.error
+            assert segmented.state == "done", segmented.error
+            assert (packed.result["patterns"]
+                    == segmented.result["patterns"])
+            assert packed.store_digest != segmented.store_digest
+
+    def test_append_rekeys_and_defeats_memo(self, tmp_path):
+        path = _make_segmented_store(tmp_path, "grow", seed=77)
+        with MiningService(workers=1) as service:
+            first = service.submit(CONFIG, store=str(path))
+            service._queue.join()
+            outcome = service.append_to_store(
+                first.store_digest, [[0, 1, 2, 3], [1, 2, 3, 4]]
+            )
+            assert outcome["previous_digest"] == first.store_digest
+            assert outcome["store_digest"] != first.store_digest
+            assert outcome["n_sequences"] == 42
+            # Old digest is no longer addressable...
+            with pytest.raises(ServiceError, match="no open store"):
+                service.append_to_store(first.store_digest, [[0, 1]])
+            # ...and a resubmit mines the grown content, not the memo.
+            second = service.submit(CONFIG, store=str(path))
+            service._queue.join()
+            assert second.state == "done", second.error
+            assert second.store_digest == outcome["store_digest"]
+            assert not second.memo_hit
+
+    def test_append_requires_segmented_store(self, store_path):
+        with MiningService(workers=1) as service:
+            job = service.submit(CONFIG, store=str(store_path))
+            service._queue.join()
+            with pytest.raises(ServiceError, match="not segmented"):
+                service.append_to_store(job.store_digest, [[0, 1]])
+
+    def test_append_over_http(self, tmp_path):
+        path = _make_segmented_store(tmp_path, "http-grow", seed=88)
+        server, _thread = start_server(port=0)
+        try:
+            client = ServiceClient(server.url)
+            job = client.submit(CONFIG, store=str(path))
+            doc = client.wait(job["id"])
+            digest = doc["store_digest"]
+            outcome = client.append(digest, [[0, 1, 2], [2, 1, 0]])
+            assert outcome["previous_digest"] == digest
+            assert outcome["n_sequences"] == 42
+            with pytest.raises(ServiceError, match="404"):
+                client.append(digest, [[0, 1]])
+            with pytest.raises(ServiceError, match="409"):
+                client.append(outcome["store_digest"], [[0, 1]],
+                              ids=[0])  # id collision -> rejected
+        finally:
+            server.close()
+
+    def test_append_id_collision_is_rejected(self, tmp_path):
+        path = _make_segmented_store(tmp_path, "collide", seed=99)
+        with MiningService(workers=1) as service:
+            job = service.submit(CONFIG, store=str(path))
+            service._queue.join()
+            with pytest.raises(ServiceError, match="append rejected"):
+                service.append_to_store(
+                    job.store_digest, [[0, 1]], ids=[0]
+                )
