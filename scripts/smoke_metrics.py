@@ -192,6 +192,19 @@ def main(argv=None) -> int:
         return rc
     shutil.copy(bench_delta.OUTPUT, out / "BENCH_delta.json")
 
+    # Sharded counting benchmark, smoke mode: scatter-gather totals
+    # must be bit-identical to the vectorized engine for every shard
+    # count and completion order, and a segmented store must dispatch
+    # to pool workers without inline fallbacks (no scaling gate), with
+    # BENCH_shards.json shipped alongside.
+    import bench_shards
+
+    rc = bench_shards.main(["--smoke"])
+    if rc != 0:
+        print("sharded counting benchmark smoke failed", file=sys.stderr)
+        return rc
+    shutil.copy(bench_shards.OUTPUT, out / "BENCH_shards.json")
+
     print(f"all {len(COMBINATIONS) + 1} metrics reports valid; "
           f"artifacts in {out}/")
     return 0

@@ -205,6 +205,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_mining_options(mine)
     mine.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the parallel engine's scatter-gather "
+             "counting tier; only meaningful with --engine parallel "
+             "(default: $NOISYMINE_WORKERS, else the CPU affinity mask)",
+    )
+    mine.add_argument(
+        "--oversplit", type=int, default=None, metavar="K",
+        help="work-stealing depth for the parallel engine: the store is "
+             "cut into ~K shard tasks per worker so idle workers steal "
+             "from the shared queue; merged totals are bit-identical for "
+             "any K (default: $NOISYMINE_OVERSPLIT, else 3)",
+    )
+    mine.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of a table "
              "(includes a 'metrics' block with per-phase scans/timings)",
@@ -378,6 +391,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_engine_override(config, args):
+    """A :class:`~repro.engine.ParallelEngine` instance honouring
+    ``--workers`` / ``--oversplit``, or ``None`` when the registry
+    default serves.
+
+    The flags are execution knobs of the parallel backend only —
+    naming them with any other engine is a loud error, not a silent
+    no-op.
+    """
+    workers = getattr(args, "workers", None)
+    oversplit = getattr(args, "oversplit", None)
+    if config.engine != "parallel":
+        if workers is not None or oversplit is not None:
+            raise NoisyMineError(
+                "--workers/--oversplit configure the parallel engine; "
+                f"pass --engine parallel (got {config.engine!r})"
+            )
+        return None
+    if workers is None and oversplit is None:
+        return None
+    from .engine import ParallelEngine
+
+    return ParallelEngine(n_workers=workers, oversplit=oversplit)
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     # All flag/env resolution happens here, in one shot: a bad
     # NOISYMINE_* value fails loudly before any file is opened.
@@ -402,8 +440,15 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     # A live tracer costs a few dict updates per scan; only pay for it
     # when some output will actually carry the metrics.
     tracer = Tracer() if (args.json or args.metrics_json) else None
-    miner = config.build_miner(len(database), tracer=tracer)
-    result = miner.mine(database)
+    engine_override = _parallel_engine_override(config, args)
+    miner = config.build_miner(
+        len(database), engine=engine_override, tracer=tracer
+    )
+    try:
+        result = miner.mine(database)
+    finally:
+        if engine_override is not None:
+            engine_override.close()
     if args.checkpoint:
         from .io import SegmentedSequenceStore
         from .mining.delta import create_checkpoint

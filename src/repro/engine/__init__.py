@@ -9,7 +9,9 @@ three interchangeable backends —
 * :class:`~repro.engine.vectorized.VectorizedBatchEngine`
   (``"vectorized"``) — batched chunk kernels plus a factor-row cache;
 * :class:`~repro.engine.parallel.ParallelEngine` (``"parallel"``) —
-  sequence shards across a ``multiprocessing`` pool;
+  scatter-gather counting over a shard manifest with work-stealing
+  dispatch (local ``multiprocessing`` pool by default, any
+  :class:`~repro.engine.shards.ShardExecutor` transport);
 * :class:`~repro.engine.resident.ResidentSampleEvaluator`
   (``"resident"``) — pins one memory-resident database (Phase 2's
   sample) and evaluates candidates incrementally from their parents'
@@ -34,11 +36,29 @@ from .base import (
     resolve_engine_name,
 )
 from .parallel import (
+    OVERSPLIT_ENV_VAR,
     ParallelEngine,
     WORKERS_ENV_VAR,
+    resolve_oversplit,
     resolve_worker_count,
 )
 from .reference import ReferenceEngine
+from .shards import (
+    InlineShardExecutor,
+    LocalPoolExecutor,
+    ShardExecutor,
+    ShardManifest,
+    ShardResult,
+    ShardRunStats,
+    ShardSpec,
+    ShardTask,
+    ShuffledExecutor,
+    build_tasks,
+    execute_shard_task,
+    manifest_from_rows,
+    manifest_from_store,
+    scatter_gather,
+)
 from .resident import (
     PlaneStore,
     RESIDENT_ENV_VAR,
@@ -57,19 +77,35 @@ __all__ = [
     "ENGINE_ENV_VAR",
     "EngineSpec",
     "FactorCache",
+    "InlineShardExecutor",
+    "LocalPoolExecutor",
     "MatchEngine",
+    "OVERSPLIT_ENV_VAR",
     "ParallelEngine",
     "PlaneStore",
     "RESIDENT_ENV_VAR",
     "ReferenceEngine",
     "ResidentSampleEvaluator",
+    "ShardExecutor",
+    "ShardManifest",
+    "ShardResult",
+    "ShardRunStats",
+    "ShardSpec",
+    "ShardTask",
+    "ShuffledExecutor",
     "VectorizedBatchEngine",
     "WORKERS_ENV_VAR",
     "available_engines",
+    "build_tasks",
     "create_engine",
+    "execute_shard_task",
     "get_engine",
+    "manifest_from_rows",
+    "manifest_from_store",
     "register_engine",
     "resident_from_env",
     "resolve_engine_name",
+    "resolve_oversplit",
     "resolve_worker_count",
+    "scatter_gather",
 ]

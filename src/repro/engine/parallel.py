@@ -1,12 +1,22 @@
-"""Parallel backend: sequence shards across a ``multiprocessing`` pool.
+"""Parallel backend: scatter-gather counting over a shard manifest.
 
-:class:`ParallelEngine` consumes one database scan in the parent (so
-the paper's scan accounting is untouched), splits the sequences into
-contiguous shards, and evaluates each shard in a worker process with
-the same chunked kernels the vectorized backend uses.  Per-pattern
-partial sums come back as plain float arrays and are merged in shard
-order, so the result differs from a single-process evaluation only by
-floating-point summation association (a few ulps).
+:class:`ParallelEngine` consumes one logical database scan in the
+parent (so the paper's scan accounting is untouched) and executes it as
+a scatter-gather over a :class:`~repro.engine.shards.ShardManifest`:
+the store is cut into digest-addressed, symbol-weighted shards on the
+``chunk_rows`` block grid, oversplit into ~2-4x as many tasks as
+workers, dispatched with work-stealing (``imap_unordered`` over a
+shared queue), and merged **deterministically in block order** — so the
+totals are bit-identical to the vectorized engine at equal
+``chunk_rows``, for any shard count, worker count or completion order.
+
+The worker protocol (:mod:`repro.engine.shards`) is transport-agnostic:
+tasks and results are plain dataclasses run by a
+:class:`~repro.engine.shards.ShardExecutor`, with the local
+``multiprocessing`` pool as the default transport.  Pass ``executor=``
+to run the same scatter-gather over any other transport (inline, a
+shuffled test harness, a future socket executor) without touching the
+engine or the miners.
 
 Worker-local state
 ------------------
@@ -17,30 +27,28 @@ call arrives with a different matrix the pool is rebuilt (miners use
 one matrix per run, so this is rare).
 
 When the database is too small to be worth sharding (fewer than
-``min_shard_rows`` sequences per worker) or the engine is configured
-with a single worker, the evaluation runs inline in the parent with
-identical semantics and no pool is ever created.
+``min_shard_rows`` sequences, or a single grid block) or the engine is
+configured with a single worker, the evaluation runs inline in the
+parent with identical semantics and no pool is ever created.
 
-Chunk-parallel packed scans
----------------------------
-For a file-backed :class:`repro.io.PackedSequenceStore` the engine
-skips materialising rows in the parent entirely: each worker
-memory-maps the store once (cached across tasks and passes, with a
-content-digest staleness check) and receives only ``(path, digest,
-row-range)`` per shard.  Shard boundaries are the same
-:func:`numpy.linspace` cuts as the in-memory path and partials merge in
-the same shard order, so the results are bit-identical to sharding a
-materialised row list — while per-pass IPC drops from the whole
-database to a few hundred bytes per shard.  The one worker pool
-persists across calls and phases (rebuilt only when the compatibility
-matrix changes), so every phase of a mining run reuses it.
+File-backed stores
+------------------
+Both disk backends produce manifests: the packed store as row-range
+splits of its one file, the segmented store as one-or-more shards per
+immutable segment.  Workers memory-map each referenced file once
+(cached across tasks and passes, with a content-digest staleness
+check) and receive only a :class:`~repro.engine.shards.ShardSpec` per
+task, so per-pass IPC is a few hundred bytes per shard instead of the
+database.  The pass is charged to the store (one scan, the symbol
+payload, and the dispatched chunk count) only after the scatter-gather
+completes — a failed dispatch inflates no I/O accounting.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -48,7 +56,14 @@ from ..core.compatibility import CompatibilityMatrix
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
 from ..errors import MiningError
-from ..obs import INLINE_FALLBACKS, SHARDS_DISPATCHED, Tracer
+from ..obs import (
+    INLINE_FALLBACKS,
+    SHARD_IO_BYTES,
+    SHARD_SCAN_SECONDS,
+    SHARD_STEALS,
+    SHARDS_DISPATCHED,
+    Tracer,
+)
 from .base import (
     MatchEngine,
     empty_database_guard,
@@ -62,12 +77,34 @@ from .kernels import (
     rows_database_totals,
     rows_symbol_totals,
 )
+from .shards import (
+    LocalPoolExecutor,
+    ShardExecutor,
+    ShardManifest,
+    ShardRunStats,
+    ShardTask,
+    TASK_DATABASE_TOTALS,
+    TASK_SYMBOL_TOTALS,
+    build_tasks,
+    init_worker,
+    manifest_from_rows,
+    manifest_from_store,
+    scatter_gather,
+)
 
-#: Below this many sequences per worker, sharding costs more than it saves.
+#: Below this many sequences, sharding costs more than it saves.
 DEFAULT_MIN_SHARD_ROWS = 64
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "NOISYMINE_WORKERS"
+
+#: Default work-stealing oversplit: tasks per worker.  Around 2-4x
+#: keeps the steal queue deep enough to absorb a skewed shard without
+#: drowning the pass in per-task dispatch overhead.
+DEFAULT_OVERSPLIT = 3
+
+#: Environment variable overriding the default oversplit factor.
+OVERSPLIT_ENV_VAR = "NOISYMINE_OVERSPLIT"
 
 
 def resolve_worker_count(requested: Optional[int] = None) -> int:
@@ -107,91 +144,38 @@ def resolve_worker_count(requested: Optional[int] = None) -> int:
             pass
     return os.cpu_count() or 1
 
-# -- worker side ---------------------------------------------------------------
 
-_WORKER_C_EXT: Optional[np.ndarray] = None
+def resolve_oversplit(requested: Optional[int] = None) -> int:
+    """Resolve the work-stealing oversplit factor (tasks per worker).
 
-#: Worker-local cache of opened packed stores, keyed by path.  A store
-#: is reopened when the content digest of a task no longer matches the
-#: cached mapping (the file was rewritten between runs).
-_WORKER_STORES: Dict[str, object] = {}
-
-
-def _init_worker(c_ext: np.ndarray) -> None:
-    """Pool initializer: install the worker-local compatibility matrix."""
-    global _WORKER_C_EXT
-    _WORKER_C_EXT = c_ext
-
-
-def _worker_store_rows(
-    path: str, digest: str, start: int, stop: int
-) -> List[np.ndarray]:
-    """Row views ``[start, stop)`` of the packed store at *path*.
-
-    Each worker memory-maps the store once and serves every shard of
-    every subsequent pass from that mapping — the parent ships only
-    ``(path, digest, bounds)`` per task, never the sequence data.
+    An explicit *requested* value wins, then the ``NOISYMINE_OVERSPLIT``
+    environment variable, then :data:`DEFAULT_OVERSPLIT`.  Must be
+    ``>= 1``; ``1`` disables oversplitting (one task per worker, no
+    steal slack).
     """
-    from ..io.packed import PackedSequenceStore
-
-    store = _WORKER_STORES.get(path)
-    if store is None or store.digest != digest:
-        store = PackedSequenceStore.open(path)
-        if store.digest != digest:
+    if requested is not None:
+        if requested < 1:
+            raise MiningError(f"oversplit must be >= 1, got {requested}")
+        return requested
+    env = os.environ.get(OVERSPLIT_ENV_VAR)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
             raise MiningError(
-                f"packed store {path} changed underneath the worker pool "
-                f"(expected digest {digest}, found {store.digest})"
+                f"{OVERSPLIT_ENV_VAR} must be a positive integer, "
+                f"got {env!r}"
+            ) from None
+        if value < 1:
+            raise MiningError(
+                f"{OVERSPLIT_ENV_VAR} must be >= 1, got {value}"
             )
-        _WORKER_STORES[path] = store
-    return store.rows_slice(start, stop)
-
-
-def _worker_database_totals(
-    args: Tuple[List[np.ndarray], Dict[int, List[int]],
-                Dict[int, np.ndarray], int, int]
-) -> np.ndarray:
-    rows, groups, elements_by_span, n_patterns, chunk_rows = args
-    assert _WORKER_C_EXT is not None, "worker initializer did not run"
-    return rows_database_totals(
-        rows, _WORKER_C_EXT, groups, elements_by_span, n_patterns, chunk_rows
-    )
-
-
-def _worker_packed_database_totals(
-    args: Tuple[str, str, int, int, Dict[int, List[int]],
-                Dict[int, np.ndarray], int, int]
-) -> np.ndarray:
-    path, digest, start, stop, groups, elements_by_span, n_patterns, \
-        chunk_rows = args
-    assert _WORKER_C_EXT is not None, "worker initializer did not run"
-    rows = _worker_store_rows(path, digest, start, stop)
-    return rows_database_totals(
-        rows, _WORKER_C_EXT, groups, elements_by_span, n_patterns, chunk_rows
-    )
-
-
-def _worker_symbol_totals(
-    args: Tuple[List[np.ndarray], int]
-) -> np.ndarray:
-    rows, chunk_rows = args
-    assert _WORKER_C_EXT is not None, "worker initializer did not run"
-    return rows_symbol_totals(rows, _WORKER_C_EXT, chunk_rows)
-
-
-def _worker_packed_symbol_totals(
-    args: Tuple[str, str, int, int, int]
-) -> np.ndarray:
-    path, digest, start, stop, chunk_rows = args
-    assert _WORKER_C_EXT is not None, "worker initializer did not run"
-    rows = _worker_store_rows(path, digest, start, stop)
-    return rows_symbol_totals(rows, _WORKER_C_EXT, chunk_rows)
-
-
-# -- parent side ---------------------------------------------------------------
+        return value
+    return DEFAULT_OVERSPLIT
 
 
 class ParallelEngine(MatchEngine):
-    """Shard sequences across processes; merge per-pattern partial sums.
+    """Scatter-gather counted scans over a shard manifest.
 
     Parameters
     ----------
@@ -202,14 +186,25 @@ class ParallelEngine(MatchEngine):
         oversubscribes under cgroup limits).  ``1`` means always-inline
         evaluation (useful as a deterministic fallback).
     chunk_rows:
-        Rows per padded chunk *inside* each worker.
+        Rows per padded chunk inside each worker — also the shard
+        block-grid pitch: shard bounds always land on multiples of
+        ``chunk_rows``, which is what keeps merged totals bit-identical
+        to a single-process scan.
     min_shard_rows:
-        Minimum sequences per worker before the pool is used at all.
+        Minimum total sequences before any dispatch happens at all.
+    oversplit:
+        Work-stealing depth: target tasks per worker (default
+        :func:`resolve_oversplit` — ``NOISYMINE_OVERSPLIT`` or 3).
+    executor:
+        Optional :class:`~repro.engine.shards.ShardExecutor` replacing
+        the local pool transport; the engine then never creates a pool.
 
     Lifecycle counters — :attr:`pools_created`,
-    :attr:`shards_dispatched`, :attr:`inline_fallbacks` — accumulate
-    over the engine's lifetime and are also reported per call on the
-    tracer passed to :meth:`database_matches`.
+    :attr:`shards_dispatched`, :attr:`inline_fallbacks`,
+    :attr:`shard_steals` — accumulate over the engine's lifetime and
+    are also reported per call on the tracer passed to
+    :meth:`database_matches` / :meth:`symbol_matches` (plus the float
+    ``shard_scan_seconds`` and ``shard_io_bytes`` worker-side totals).
     """
 
     name = "parallel"
@@ -219,6 +214,8 @@ class ParallelEngine(MatchEngine):
         n_workers: Optional[int] = None,
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
         min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS,
+        oversplit: Optional[int] = None,
+        executor: Optional[ShardExecutor] = None,
     ):
         if chunk_rows < 1:
             raise MiningError(f"chunk_rows must be >= 1, got {chunk_rows}")
@@ -229,11 +226,14 @@ class ParallelEngine(MatchEngine):
         self.n_workers = resolve_worker_count(n_workers)
         self.chunk_rows = chunk_rows
         self.min_shard_rows = min_shard_rows
+        self.oversplit = resolve_oversplit(oversplit)
+        self._executor = executor
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_fingerprint: Optional[tuple] = None
         self.pools_created = 0
         self.shards_dispatched = 0
         self.inline_fallbacks = 0
+        self.shard_steals = 0
 
     # -- pool management ------------------------------------------------------
 
@@ -254,7 +254,7 @@ class ParallelEngine(MatchEngine):
         if self._pool is None:
             self._pool = self._context().Pool(
                 processes=self.n_workers,
-                initializer=_init_worker,
+                initializer=init_worker,
                 initargs=(c_ext,),
             )
             self._pool_fingerprint = fingerprint
@@ -280,67 +280,100 @@ class ParallelEngine(MatchEngine):
         The pool persists across calls — one pool serves every phase of
         a mining run — so warming it moves the one-time fork cost out of
         the first measured scan.  A no-op when the pool for this matrix
-        already exists or when the engine would always run inline.
+        already exists, when a custom executor owns the transport, or
+        when the engine would always run inline.
         """
-        if self.n_workers > 1:
+        if self.n_workers > 1 and self._executor is None:
             self._ensure_pool(matrix, extended_matrix(matrix.array))
 
     # -- sharding -------------------------------------------------------------
 
-    def _shard_bounds(self, n_rows: int) -> List[int]:
-        """Contiguous shard boundaries for *n_rows* sequences.
+    def _dispatch_enabled(self) -> bool:
+        return self.n_workers > 1 or self._executor is not None
 
-        The same boundaries drive both the in-memory path (slicing a
-        materialised row list) and the packed chunk-parallel path
-        (workers slice the store themselves), so the two dispatch
-        identical row ranges and merge partials in identical order.
-        """
-        n_shards = min(self.n_workers, max(1, n_rows // self.min_shard_rows))
-        if n_shards <= 1:
-            return [0, n_rows]
-        return [int(b) for b in np.linspace(0, n_rows, n_shards + 1)]
+    def _target_tasks(self) -> int:
+        return self.n_workers * self.oversplit
 
-    def _shards(self, rows: List[np.ndarray]) -> List[List[np.ndarray]]:
-        bounds = self._shard_bounds(len(rows))
-        if len(bounds) == 2:
-            return [rows]
-        return [
-            rows[bounds[i] : bounds[i + 1]]
-            for i in range(len(bounds) - 1)
-            if bounds[i + 1] > bounds[i]
-        ]
-
-    def _packed_spec(
+    def _store_manifest(
         self, database: AnySequenceDatabase
-    ) -> Optional[Tuple[str, str, List[Tuple[int, int]]]]:
-        """``(path, digest, shard ranges)`` when the chunk-parallel
-        packed path applies to *database*, else ``None``.
-
-        Applies when the backend advertises ``external_pass_spec`` (the
-        packed store), is file-backed, and is large enough to shard.
-        Counts the one logical pass (inside ``external_pass_spec``) and
-        charges the shard chunks to the store's I/O accounting.
+    ) -> Optional[ShardManifest]:
+        """The dispatchable manifest of *database*, or ``None`` when
+        the counting tier does not apply (inline engine, no
+        ``shard_layout`` hook, pathless store, or too small to cut into
+        two shards).  Pure metadata — nothing is charged until the
+        scatter-gather actually completes.
         """
-        describe = getattr(database, "external_pass_spec", None)
-        if describe is None or self.n_workers <= 1:
+        if not self._dispatch_enabled():
             return None
-        bounds = self._shard_bounds(len(database))
-        if len(bounds) == 2:
-            return None  # not worth sharding; generic inline path
-        spec = describe()
-        if spec is None:
-            return None  # in-memory store: no path to ship to workers
-        path, digest = spec
-        ranges = [
-            (bounds[i], bounds[i + 1])
-            for i in range(len(bounds) - 1)
-            if bounds[i + 1] > bounds[i]
-        ]
-        n_chunks = sum(
-            -(-(stop - start) // self.chunk_rows) for start, stop in ranges
+        manifest = manifest_from_store(
+            database, self.chunk_rows, self._target_tasks(),
+            self.min_shard_rows,
         )
-        database.io_chunks += n_chunks
-        return path, digest, ranges
+        if manifest is None or len(manifest) < 2:
+            return None
+        return manifest
+
+    def _rows_manifest(
+        self, rows: List[np.ndarray]
+    ) -> Optional[ShardManifest]:
+        if not self._dispatch_enabled() or not rows:
+            return None
+        manifest = manifest_from_rows(
+            rows, self.chunk_rows, self._target_tasks(),
+            self.min_shard_rows,
+        )
+        if len(manifest) < 2:
+            return None
+        return manifest
+
+    def _executor_for(
+        self, matrix: CompatibilityMatrix, c_ext: np.ndarray
+    ) -> ShardExecutor:
+        if self._executor is not None:
+            return self._executor
+        return LocalPoolExecutor(self._ensure_pool(matrix, c_ext))
+
+    def _dispatch(
+        self,
+        tasks: List[ShardTask],
+        matrix: CompatibilityMatrix,
+        c_ext: np.ndarray,
+        width: int,
+        database: Optional[AnySequenceDatabase],
+        tracer: Optional[Tracer],
+    ) -> np.ndarray:
+        """Run one scatter-gather pass and fold its counters.
+
+        With *database* (the file-backed manifest path) the logical
+        pass — one scan, the symbol payload, the dispatched chunk
+        count — is charged to the store only **after** the gather
+        completes, so a failed or aborted dispatch never inflates the
+        I/O accounting.
+        """
+        executor = self._executor_for(matrix, c_ext)
+        totals, stats = scatter_gather(
+            tasks, executor, c_ext, width, n_workers=self.n_workers
+        )
+        if database is not None:
+            database.begin_external_pass()
+            database.io_chunks += stats.blocks
+        self._record(stats, tracer)
+        return totals
+
+    def _record(
+        self, stats: ShardRunStats, tracer: Optional[Tracer]
+    ) -> None:
+        self.shards_dispatched += stats.tasks
+        self.shard_steals += stats.steals
+        if tracer is not None and tracer.enabled:
+            tracer.count(SHARDS_DISPATCHED, stats.tasks)
+            if stats.steals:
+                tracer.count(SHARD_STEALS, stats.steals)
+            tracer.count(SHARD_SCAN_SECONDS, stats.scan_seconds)
+            if stats.io_bytes:
+                tracer.count(SHARD_IO_BYTES, stats.io_bytes)
+            tracer.note("workers", self.n_workers)
+            tracer.note("oversplit", self.oversplit)
 
     # -- batched hooks --------------------------------------------------------
 
@@ -359,31 +392,21 @@ class ParallelEngine(MatchEngine):
             patterns, matrix.size
         )
         c_ext = extended_matrix(matrix.array)
-        packed = self._packed_spec(database)
-        if packed is not None:
-            path, digest, ranges = packed
-            self.shards_dispatched += len(ranges)
-            if traced:
-                tracer.count(SHARDS_DISPATCHED, len(ranges))
-                tracer.note("workers", self.n_workers)
-            pool = self._ensure_pool(matrix, c_ext)
-            parts = pool.map(
-                _worker_packed_database_totals,
-                [
-                    (path, digest, start, stop, groups, elements_by_span,
-                     len(patterns), self.chunk_rows)
-                    for start, stop in ranges
-                ],
+        manifest = self._store_manifest(database)
+        if manifest is not None:
+            tasks = build_tasks(
+                manifest, TASK_DATABASE_TOTALS, groups, elements_by_span,
+                len(patterns),
             )
-            totals = np.zeros(len(patterns), dtype=np.float64)
-            for part in parts:  # merge in shard (i.e. scan) order
-                totals += part
+            totals = self._dispatch(
+                tasks, matrix, c_ext, len(patterns), database, tracer
+            )
             count = len(database)
             return {p: float(t / count) for p, t in zip(patterns, totals)}
         _ids, rows = scan_rows(database)
         empty_database_guard(len(rows))
-        shards = self._shards(rows)
-        if len(shards) == 1:
+        manifest = self._rows_manifest(rows)
+        if manifest is None:
             self.inline_fallbacks += 1
             if traced:
                 tracer.count(INLINE_FALLBACKS, 1)
@@ -392,22 +415,13 @@ class ParallelEngine(MatchEngine):
                 self.chunk_rows,
             )
         else:
-            self.shards_dispatched += len(shards)
-            if traced:
-                tracer.count(SHARDS_DISPATCHED, len(shards))
-                tracer.note("workers", self.n_workers)
-            pool = self._ensure_pool(matrix, c_ext)
-            parts = pool.map(
-                _worker_database_totals,
-                [
-                    (shard, groups, elements_by_span, len(patterns),
-                     self.chunk_rows)
-                    for shard in shards
-                ],
+            tasks = build_tasks(
+                manifest, TASK_DATABASE_TOTALS, groups, elements_by_span,
+                len(patterns), rows=rows,
             )
-            totals = np.zeros(len(patterns), dtype=np.float64)
-            for part in parts:  # merge in shard (i.e. scan) order
-                totals += part
+            totals = self._dispatch(
+                tasks, matrix, c_ext, len(patterns), None, tracer
+            )
         count = len(rows)
         return {p: float(t / count) for p, t in zip(patterns, totals)}
 
@@ -419,47 +433,29 @@ class ParallelEngine(MatchEngine):
     ) -> np.ndarray:
         traced = tracer is not None and tracer.enabled
         c_ext = extended_matrix(matrix.array)
-        packed = self._packed_spec(database)
-        if packed is not None:
-            path, digest, ranges = packed
-            self.shards_dispatched += len(ranges)
-            if traced:
-                tracer.count(SHARDS_DISPATCHED, len(ranges))
-            pool = self._ensure_pool(matrix, c_ext)
-            parts = pool.map(
-                _worker_packed_symbol_totals,
-                [
-                    (path, digest, start, stop, self.chunk_rows)
-                    for start, stop in ranges
-                ],
+        manifest = self._store_manifest(database)
+        if manifest is not None:
+            tasks = build_tasks(manifest, TASK_SYMBOL_TOTALS)
+            totals = self._dispatch(
+                tasks, matrix, c_ext, matrix.size, database, tracer
             )
-            totals = np.zeros(matrix.size, dtype=np.float64)
-            for part in parts:
-                totals += part
             return totals / len(database)
         _ids, rows = scan_rows(database)
         if not rows:
             raise MiningError(
                 "cannot compute symbol matches over an empty database"
             )
-        shards = self._shards(rows)
-        if len(shards) == 1:
+        manifest = self._rows_manifest(rows)
+        if manifest is None:
             self.inline_fallbacks += 1
             if traced:
                 tracer.count(INLINE_FALLBACKS, 1)
             totals = rows_symbol_totals(rows, c_ext, self.chunk_rows)
         else:
-            self.shards_dispatched += len(shards)
-            if traced:
-                tracer.count(SHARDS_DISPATCHED, len(shards))
-            pool = self._ensure_pool(matrix, c_ext)
-            parts = pool.map(
-                _worker_symbol_totals,
-                [(shard, self.chunk_rows) for shard in shards],
+            tasks = build_tasks(manifest, TASK_SYMBOL_TOTALS, rows=rows)
+            totals = self._dispatch(
+                tasks, matrix, c_ext, matrix.size, None, tracer
             )
-            totals = np.zeros(matrix.size, dtype=np.float64)
-            for part in parts:
-                totals += part
         return totals / len(rows)
 
     def symbol_matches_rows(

@@ -450,10 +450,38 @@ class PackedSequenceStore:
         """
         if self._path is None:
             return None
+        self.begin_external_pass()
+        return self._path, self.digest
+
+    def begin_external_pass(self) -> None:
+        """Account one logical pass executed by an external counting tier.
+
+        Workers map the file themselves, so the parent-side store never
+        sees the row reads — this charges the one scan and the full
+        symbol payload the external pass represents.  Call it exactly
+        once per dispatched scatter-gather pass, *after* deciding to
+        dispatch (a pass that falls back inline is counted by the
+        inline scan instead).
+        """
         self._require_open()
         self._scan_count += 1
         self.io_bytes_read += self._symbols.nbytes
-        return self._path, self.digest
+
+    def shard_layout(
+        self,
+    ) -> Optional[List[Tuple[str, str, int, np.ndarray]]]:
+        """Shardable description of this store for a counting tier.
+
+        Returns a single ``(path, digest, n_rows, offsets)`` part for a
+        file-backed store — the offsets table lets the dispatcher weigh
+        shard bounds by symbol count — or ``None`` when there is no
+        path to ship to workers.  Pure metadata: consumes no scan and
+        charges no I/O (see :meth:`begin_external_pass`).
+        """
+        self._require_open()
+        if self._path is None:
+            return None
+        return [(self._path, self.digest, len(self._ids), self._offsets)]
 
     # -- metadata -------------------------------------------------------------
 

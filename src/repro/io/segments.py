@@ -421,6 +421,38 @@ class SegmentedSequenceStore:
                 yield chunk
                 started = perf_counter()
 
+    def begin_external_pass(self) -> None:
+        """Account one logical pass executed by an external counting tier.
+
+        The segmented analogue of
+        :meth:`repro.io.packed.PackedSequenceStore.begin_external_pass`:
+        workers map the segment files themselves, so this charges the
+        one scan and the full symbol payload on the parent-side store.
+        """
+        self._require_open()
+        self._scan_count += 1
+        self.io_bytes_read += 4 * self.total_symbols()
+
+    def shard_layout(
+        self,
+    ) -> Optional[List[Tuple[str, str, int, np.ndarray]]]:
+        """Shardable description of this store for a counting tier.
+
+        One ``(path, digest, n_rows, offsets)`` part per immutable
+        segment, in append order — workers memory-map each segment file
+        independently, so a segmented store no longer has to ship
+        pickled rows to the pool.  Pure metadata: consumes no scan (see
+        :meth:`begin_external_pass`).
+        """
+        self._require_open()
+        parts: List[Tuple[str, str, int, np.ndarray]] = []
+        for segment in self._segments:
+            layout = segment.shard_layout()
+            if layout is None:  # pragma: no cover - segments are file-backed
+                return None
+            parts.extend(layout)
+        return parts
+
     # -- metadata -------------------------------------------------------------
 
     def __len__(self) -> int:

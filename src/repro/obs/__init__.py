@@ -49,6 +49,9 @@ from .tracer import (
     SAMPLE_PATTERNS_COUNTED,
     SAMPLE_SCANS,
     SCANS,
+    SHARD_IO_BYTES,
+    SHARD_SCAN_SECONDS,
+    SHARD_STEALS,
     SHARDS_DISPATCHED,
     STORE_CACHE_HITS,
     STORE_CACHE_MISSES,
@@ -92,6 +95,9 @@ __all__ = [
     "SAMPLE_PATTERNS_COUNTED",
     "SAMPLE_SCANS",
     "SCANS",
+    "SHARD_IO_BYTES",
+    "SHARD_SCAN_SECONDS",
+    "SHARD_STEALS",
     "SHARDS_DISPATCHED",
     "STORE_CACHE_HITS",
     "STORE_CACHE_MISSES",

@@ -49,7 +49,7 @@ M = 5  # alphabet size used throughout
 #: its pool path even for a handful of sequences.
 REF = ReferenceEngine()
 VEC = VectorizedBatchEngine(chunk_rows=3)
-PAR = ParallelEngine(n_workers=2, min_shard_rows=1)
+PAR = ParallelEngine(n_workers=2, chunk_rows=3, min_shard_rows=1)
 ENGINES = [REF, VEC, PAR]
 
 
@@ -420,7 +420,12 @@ class TestParallelLifecycle:
         assert engine.inline_fallbacks == 1
 
     def test_pool_reused_then_rebuilt_on_matrix_change(self, fig2_matrix):
-        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        # chunk_rows=4 puts 8 sequences on two grid blocks; oversplit=1
+        # makes the task count exactly n_workers, so the dispatch is
+        # deterministic enough to pin.
+        engine = ParallelEngine(
+            n_workers=2, chunk_rows=4, min_shard_rows=1, oversplit=1
+        )
         other = CompatibilityMatrix(np.eye(M))
         database = self._database(8)
         try:
@@ -449,7 +454,7 @@ class TestParallelLifecycle:
         # The satellite guarantee: every phase of a run (Phase-1 scan,
         # each level's counting pass) reuses one worker pool — the
         # engine must not fork per call.
-        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        engine = ParallelEngine(n_workers=2, chunk_rows=4, min_shard_rows=1)
         database = self._database(12)
         try:
             miner = LevelwiseMiner(
@@ -494,7 +499,9 @@ class TestParallelLifecycle:
         store = PackedSequenceStore.from_database(
             database, tmp_path / "db.nmp"
         )
-        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        engine = ParallelEngine(
+            n_workers=2, chunk_rows=4, min_shard_rows=1, oversplit=1
+        )
         batch = self._batch()
         try:
             expected = engine.database_matches(batch, database, fig2_matrix)
@@ -517,7 +524,7 @@ class TestParallelLifecycle:
 
         database = self._database(12)
         store = PackedSequenceStore.from_database(database)
-        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        engine = ParallelEngine(n_workers=2, chunk_rows=4, min_shard_rows=1)
         try:
             result = engine.database_matches(
                 self._batch(), store, fig2_matrix
@@ -526,13 +533,14 @@ class TestParallelLifecycle:
                 self._batch(), database, fig2_matrix
             )
             assert store.scan_count == 1
+            assert engine.shards_dispatched > 0  # rows shipped, not inline
             for pattern, value in expected.items():
                 assert result[pattern] == pytest.approx(value, abs=1e-12)
         finally:
             engine.close()
 
     def test_close_is_idempotent_and_pool_comes_back(self, fig2_matrix):
-        engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+        engine = ParallelEngine(n_workers=2, chunk_rows=4, min_shard_rows=1)
         database = self._database(8)
         try:
             engine.database_matches(self._batch(), database, fig2_matrix)

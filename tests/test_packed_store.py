@@ -328,7 +328,8 @@ class TestMinerParity:
 
         db, _text, packed, matrix = workload
         if engine_name == "parallel":
-            engine = ParallelEngine(n_workers=2, min_shard_rows=1)
+            engine = ParallelEngine(n_workers=2, chunk_rows=3,
+                                    min_shard_rows=1)
         else:
             engine = get_engine(engine_name)
         try:

@@ -694,3 +694,34 @@ class TestSegmentedStores:
                 service.append_to_store(
                     job.store_digest, [[0, 1]], ids=[0]
                 )
+
+
+class TestShardMetrics:
+    """Jobs run on the parallel engine surface the per-shard counters
+    of the scatter-gather tier through the daemon's tracer."""
+
+    def test_parallel_job_reports_shard_counters(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import INLINE_FALLBACKS, SHARDS_DISPATCHED
+
+        # The per-store engine is built lazily by the daemon via
+        # ``create_engine("parallel")``, which resolves the worker
+        # count from the environment at construction.  The store must
+        # span several 256-row blocks or the engine (correctly) falls
+        # back inline.
+        monkeypatch.setenv("NOISYMINE_WORKERS", "2")
+        path = _make_store(tmp_path, "shards.nmp", seed=33,
+                           sequences=600)
+        config = dict(CONFIG, engine="parallel", max_weight=2)
+        with MiningService(workers=1) as service:
+            job = service.submit(config, store=str(path))
+            service._queue.join()
+            assert job.state == "done", job.error
+            totals = job.tracer.totals()
+            assert totals.get(SHARDS_DISPATCHED, 0) > 0
+            assert totals.get(INLINE_FALLBACKS, 0) == 0
+            # The same counters reach the wire-format payload the
+            # HTTP tier serves.
+            counters = job.result["metrics"]["counters"]
+            assert counters[SHARDS_DISPATCHED] == totals[SHARDS_DISPATCHED]
