@@ -12,8 +12,10 @@ reach the report.  Finally the Phase-2 sample benchmark runs in
 ``--smoke`` mode (correctness gate only, no timing assertions) and its
 ``BENCH_phase2.json`` is copied next to the metrics files, followed by
 the scan I/O benchmark (``BENCH_io.json``), the lattice-kernel
-benchmark (``BENCH_lattice.json``) and the delta-remining benchmark
-(``BENCH_delta.json``) in the same mode.  Everything is left in the
+benchmark (``BENCH_lattice.json``), the delta-remining benchmark
+(``BENCH_delta.json``), the sharded-counting benchmark
+(``BENCH_shards.json``) and the native-kernel benchmark
+(``BENCH_native.json``) in the same mode.  Everything is left in the
 output directory so the CI workflow can upload it as an artifact.
 
 Usage::
@@ -25,11 +27,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import sys
 from pathlib import Path
 
 from repro.cli import main as cli_main
+from repro.engine import NATIVE_FALLBACK_ENV_VAR, native_available
 
 BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
 
@@ -147,6 +151,40 @@ def main(argv=None) -> int:
     print(f"{'border-collapsing':18s} {'resident-sample':10s} "
           f"scans={payload['scans']} plane_counters=ok")
 
+    # The native backend: a compiled run where numba is installed, the
+    # explicit graceful-degradation path everywhere else — either way
+    # the run must succeed and surface its counters in the report.
+    native_path = out / "metrics_levelwise_native.json"
+    saved_fallback = os.environ.get(NATIVE_FALLBACK_ENV_VAR)
+    os.environ[NATIVE_FALLBACK_ENV_VAR] = "1"
+    try:
+        rc = cli_main([
+            "mine", str(db_path), "--alphabet", "6",
+            "--min-match", "0.6", "--noise", "0.05",
+            "--algorithm", "levelwise", "--engine", "native",
+            "--max-weight", "4", "--max-span", "5",
+            "--seed", "7", "--metrics-json", str(native_path),
+        ])
+    finally:
+        if saved_fallback is None:
+            os.environ.pop(NATIVE_FALLBACK_ENV_VAR, None)
+        else:
+            os.environ[NATIVE_FALLBACK_ENV_VAR] = saved_fallback
+    if rc != 0:
+        print("mine failed for --engine native", file=sys.stderr)
+        return rc
+    payload = json.loads(native_path.read_text())
+    validate_report(payload, "levelwise", "native")
+    expected_counter = (
+        "native_kernel_calls" if native_available else "native_fallbacks"
+    )
+    if not payload["counters"].get(expected_counter):
+        raise AssertionError(
+            f"--engine native report lacks the {expected_counter} counter"
+        )
+    print(f"{'levelwise':18s} {'native':10s} scans={payload['scans']} "
+          f"{expected_counter}={payload['counters'][expected_counter]}")
+
     # Phase-2 sample benchmark, smoke mode: a correctness-only pass
     # whose BENCH_phase2.json rides along in the artifact.
     sys.path.insert(0, str(BENCHMARKS_DIR))
@@ -205,7 +243,20 @@ def main(argv=None) -> int:
         return rc
     shutil.copy(bench_shards.OUTPUT, out / "BENCH_shards.json")
 
-    print(f"all {len(COMBINATIONS) + 1} metrics reports valid; "
+    # Native-kernel benchmark, smoke mode: bit-identity of the window,
+    # lattice and miner paths across the numpy / interpreted-twin /
+    # compiled dispatches plus the float32 error bound (speedup gates
+    # auto-skip with a recorded reason on numba-free legs), with
+    # BENCH_native.json shipped alongside.
+    import bench_native
+
+    rc = bench_native.main(["--smoke"])
+    if rc != 0:
+        print("native kernel benchmark smoke failed", file=sys.stderr)
+        return rc
+    shutil.copy(bench_native.OUTPUT, out / "BENCH_native.json")
+
+    print(f"all {len(COMBINATIONS) + 2} metrics reports valid; "
           f"artifacts in {out}/")
     return 0
 

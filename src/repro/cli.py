@@ -47,7 +47,7 @@ from .core.latticekernels import LATTICE_MODES
 from .core.pattern import Pattern
 from .core.sequence import FileSequenceDatabase
 from .datagen.motifs import Motif, random_motif
-from .engine import available_engines
+from .engine import SCORE_DTYPES, available_engines
 from .datagen.noise import corrupt_uniform
 from .datagen.synthetic import generate_database
 from .errors import NoisyMineError
@@ -96,10 +96,23 @@ def _add_mining_options(parser: argparse.ArgumentParser) -> None:
         choices=available_engines(),
         default=None,
         help="match-execution backend: 'reference' (per-sequence loops), "
-             "'vectorized' (batched numpy kernels + factor cache), or "
-             "'parallel' (multiprocessing shards); results and scan "
-             "counts are identical across backends "
+             "'vectorized' (batched numpy kernels + factor cache), "
+             "'parallel' (multiprocessing shards), or 'native' (numba "
+             "JIT-compiled fused kernels; needs the noisymine[native] "
+             "extra, fails loudly without it unless "
+             "$NOISYMINE_NATIVE_FALLBACK=1); results and scan counts "
+             "are identical across backends "
              "(default: $NOISYMINE_ENGINE, else 'reference')",
+    )
+    parser.add_argument(
+        "--score-dtype",
+        choices=list(SCORE_DTYPES),
+        default=None,
+        help="scoring precision of the native engine: 'float64' "
+             "(default, bit-identical to every backend) or 'float32' "
+             "(halved scoring-pass memory traffic, match values within "
+             "the documented error bound; requires --engine native) "
+             "(default: $NOISYMINE_SCORE_DTYPE, else 'float64')",
     )
     parser.add_argument(
         "--lattice",
@@ -145,6 +158,7 @@ def _config_from_args(args: argparse.Namespace) -> MiningConfig:
         lattice=args.lattice,
         resident_sample=args.resident_sample,
         store=getattr(args, "store", None),
+        score_dtype=args.score_dtype,
     )
 
 

@@ -40,6 +40,7 @@ from .core.lattice import PatternConstraints
 from .core.latticekernels import LATTICE_MODES, resolve_lattice
 from .core.sequence import FileSequenceDatabase
 from .engine import MatchEngine, get_engine, resolve_engine_name
+from .engine.native import NativeEngine, SCORE_DTYPES, resolve_score_dtype
 from .engine.resident import ResidentSampleEvaluator, resident_from_env
 from .errors import MiningError, NoisyMineError
 from .io import (
@@ -130,7 +131,9 @@ class MiningConfig:
     ``delta``, ``max_weight``, ``max_span``, ``max_gap``,
     ``memory_capacity``, ``seed``.  Execution fields (bit-identical
     results, different throughput): ``engine``, ``lattice``,
-    ``resident_sample``, ``store``.
+    ``resident_sample``, ``store``.  ``score_dtype`` sits in between:
+    float64 is bit-identical everywhere, float32 (native engine only)
+    is error-bounded and therefore keyed like a semantic field.
 
     Instances are immutable and hashable; construct through
     :meth:`resolve` (which applies flag > env > default precedence) or
@@ -156,6 +159,12 @@ class MiningConfig:
     lattice: str = "kernel"
     resident_sample: bool = False
     store: str = "auto"
+    #: Scoring dtype of the native engine.  ``"float64"`` is an
+    #: execution knob like ``engine`` (bit-identical everywhere);
+    #: ``"float32"`` changes results within a documented error bound,
+    #: so it participates in :meth:`to_key` and requires the native
+    #: backend.
+    score_dtype: str = "float64"
 
     def __post_init__(self):
         if self.algorithm not in ALGORITHMS:
@@ -185,6 +194,17 @@ class MiningConfig:
                 f"invalid store mode {self.store!r}: expected one of "
                 f"{', '.join(STORE_MODES)}"
             )
+        if self.score_dtype not in SCORE_DTYPES:
+            raise MiningError(
+                f"unknown score dtype {self.score_dtype!r}; "
+                f"expected one of: {', '.join(SCORE_DTYPES)}"
+            )
+        if self.score_dtype != "float64" and self.engine != "native":
+            raise MiningError(
+                f"score_dtype {self.score_dtype!r} requires the native "
+                f"engine (got engine {self.engine!r}); the other "
+                "backends are float64-only"
+            )
 
     # -- resolution -----------------------------------------------------------
 
@@ -207,16 +227,17 @@ class MiningConfig:
         lattice: Optional[str] = None,
         resident_sample: Optional[bool] = None,
         store: Optional[str] = None,
+        score_dtype: Optional[str] = None,
     ) -> "MiningConfig":
         """Build a config with flag > environment > default precedence.
 
         ``None`` for an execution field consults its ``NOISYMINE_*``
         environment variable (``NOISYMINE_ENGINE``,
         ``NOISYMINE_LATTICE``, ``NOISYMINE_RESIDENT``,
-        ``NOISYMINE_STORE``) and falls back to the library default; a
-        malformed environment value raises instead of silently running
-        the default — the CLI's historical contract, now shared by the
-        daemon and the eval harness.
+        ``NOISYMINE_STORE``, ``NOISYMINE_SCORE_DTYPE``) and falls back
+        to the library default; a malformed environment value raises
+        instead of silently running the default — the CLI's historical
+        contract, now shared by the daemon and the eval harness.
         """
         return cls(
             min_match=min_match,
@@ -240,6 +261,7 @@ class MiningConfig:
                 else bool(resident_sample)
             ),
             store=resolve_store_mode(store),
+            score_dtype=resolve_score_dtype(score_dtype),
         )
 
     # -- derived --------------------------------------------------------------
@@ -296,6 +318,16 @@ class MiningConfig:
         matrix = self.build_matrix()
         constraints = self.constraints()
         engine = get_engine(engine if engine is not None else self.engine)
+        if isinstance(engine, NativeEngine):
+            # The config owns the scoring dtype: shared registry
+            # instances may have been switched by a previous float32
+            # run, so always (re)apply it.
+            engine.set_score_dtype(self.score_dtype)
+        elif self.score_dtype != "float64":
+            raise MiningError(
+                f"score_dtype {self.score_dtype!r} requires the native "
+                f"engine, but the run resolved to {engine.name!r}"
+            )
         common = dict(
             constraints=constraints, engine=engine, tracer=tracer,
             lattice=self.lattice,
@@ -356,8 +388,12 @@ class MiningConfig:
         on purpose: every backend combination is pinned bit-identical
         by the equivalence suites, so a vectorized rerun of a job first
         mined with the reference engine is a legitimate memo hit.
+        ``score_dtype`` is the exception — float32 scoring changes
+        match values within its error bound, so it participates in the
+        key and float32 runs never hit float64 memos.
         """
         payload = {
+            "score_dtype": self.score_dtype,
             "algorithm": self.algorithm,
             "min_match": self.min_match,
             "alphabet": None if self.matrix is not None else self.alphabet,
@@ -395,6 +431,7 @@ class MiningConfig:
             "lattice": self.lattice,
             "resident_sample": self.resident_sample,
             "store": self.store,
+            "score_dtype": self.score_dtype,
         }
 
     @classmethod
@@ -437,6 +474,7 @@ def json_payload(
         "engine": engine_name or config.engine,
         "lattice": config.lattice,
         "min_match": config.min_match,
+        "score_dtype": config.score_dtype,
         **result.to_dict(),
     }
     payload["patterns"] = payload.pop("frequent")

@@ -15,7 +15,11 @@ three interchangeable backends —
 * :class:`~repro.engine.resident.ResidentSampleEvaluator`
   (``"resident"``) — pins one memory-resident database (Phase 2's
   sample) and evaluates candidates incrementally from their parents'
-  cached score planes.
+  cached score planes;
+* :class:`~repro.engine.native.NativeEngine` (``"native"``) — numba
+  JIT-compiled fused window-scoring kernels (optional dependency;
+  fails loudly without numba unless graceful fallback is requested)
+  with an opt-in float32 scoring mode.
 
 All backends agree on every match value; they differ only in
 throughput profile.  See ``docs/API.md`` ("Execution engines") for
@@ -41,6 +45,15 @@ from .parallel import (
     WORKERS_ENV_VAR,
     resolve_oversplit,
     resolve_worker_count,
+)
+from .native import (
+    NATIVE_FALLBACK_ENV_VAR,
+    NativeEngine,
+    SCORE_DTYPES,
+    fallback_from_env,
+    native_available,
+    native_unavailable_reason,
+    resolve_score_dtype,
 )
 from .reference import ReferenceEngine
 from .shards import (
@@ -71,6 +84,7 @@ register_engine("reference", ReferenceEngine)
 register_engine("vectorized", VectorizedBatchEngine)
 register_engine("parallel", ParallelEngine)
 register_engine("resident", ResidentSampleEvaluator)
+register_engine("native", NativeEngine)
 
 __all__ = [
     "DEFAULT_ENGINE_NAME",
@@ -80,12 +94,15 @@ __all__ = [
     "InlineShardExecutor",
     "LocalPoolExecutor",
     "MatchEngine",
+    "NATIVE_FALLBACK_ENV_VAR",
+    "NativeEngine",
     "OVERSPLIT_ENV_VAR",
     "ParallelEngine",
     "PlaneStore",
     "RESIDENT_ENV_VAR",
     "ReferenceEngine",
     "ResidentSampleEvaluator",
+    "SCORE_DTYPES",
     "ShardExecutor",
     "ShardManifest",
     "ShardResult",
@@ -99,13 +116,17 @@ __all__ = [
     "build_tasks",
     "create_engine",
     "execute_shard_task",
+    "fallback_from_env",
     "get_engine",
     "manifest_from_rows",
     "manifest_from_store",
+    "native_available",
+    "native_unavailable_reason",
     "register_engine",
     "resident_from_env",
     "resolve_engine_name",
     "resolve_oversplit",
+    "resolve_score_dtype",
     "resolve_worker_count",
     "scatter_gather",
 ]

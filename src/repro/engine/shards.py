@@ -50,10 +50,11 @@ import os
 import signal
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core import _nativekernels as _nk
 from ..errors import MiningError
 from .kernels import (
     chunk_database_totals,
@@ -317,10 +318,19 @@ def init_worker(c_ext: np.ndarray) -> None:
     Workers also ignore SIGINT: a terminal Ctrl-C is delivered to the
     whole foreground process group, and the parent — not the signal —
     owns worker shutdown (``pool.terminate`` on close).
+
+    When numba is available the native kernels are warmed here, once
+    per worker process, so no task ever pays JIT compilation:
+    fork-started workers inherit an already-warm dispatcher from the
+    parent (:func:`~repro.core._nativekernels.warm_kernels` is a
+    no-op then), and spawn-started workers mostly load the on-disk
+    ``cache=True`` machine code instead of compiling.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     global _WORKER_C_EXT
     _WORKER_C_EXT = c_ext
+    if _nk.native_available:
+        _nk.warm_kernels()
 
 
 def _worker_store_rows(
@@ -344,6 +354,36 @@ def _worker_store_rows(
             )
         _WORKER_STORES[path] = store
     return store.rows_slice(start, stop)
+
+
+def _native_database_block(
+    padded: np.ndarray,
+    c_ext: np.ndarray,
+    groups: Dict[int, List[int]],
+    elements_by_span: Dict[int, np.ndarray],
+    totals: np.ndarray,
+    buffers: Dict[tuple, np.ndarray],
+) -> None:
+    """One block's per-pattern sums via the compiled window kernel.
+
+    The per-sequence maxima are identical to
+    :func:`~repro.engine.kernels.chunk_group_maxima` (same factors,
+    same multiply order) and summed with the same ``np.sum``
+    reduction, so the accumulated block totals match the numpy path
+    bit for bit.  Span groups no window fits contribute exact zeros
+    on both paths and are skipped.
+    """
+    n, length = padded.shape
+    for span, indices in groups.items():
+        if length < span:
+            continue
+        elements = elements_by_span[span]
+        key = (elements.shape[0], n)
+        maxima = buffers.get(key)
+        if maxima is None:
+            maxima = buffers[key] = np.empty(key, dtype=c_ext.dtype)
+        _nk.window_group_maxima(padded, c_ext, elements, maxima)
+        totals[indices] += maxima.sum(axis=1)
 
 
 def execute_shard_task(task: ShardTask, c_ext: np.ndarray) -> ShardResult:
@@ -371,25 +411,47 @@ def execute_shard_task(task: ShardTask, c_ext: np.ndarray) -> ShardResult:
         )
         io_bytes = 4 * spec.symbol_count
     m = c_ext.shape[0] - 1
+    native = _nk.native_available
     block_starts = range(0, len(rows), task.chunk_rows)
     if task.kind == TASK_DATABASE_TOTALS:
         width = task.n_patterns
-        plans = group_plans(task.elements_by_span)
+        plans = None if native else group_plans(task.elements_by_span)
         out = np.zeros((len(block_starts), width), dtype=np.float64)
         scratch: Dict[tuple, np.ndarray] = {}
         for i, start in enumerate(block_starts):
             chunk = rows[start : start + task.chunk_rows]
-            gathered = gather_chunk(c_ext, pad_chunk(chunk, m))
-            chunk_database_totals(
-                gathered, task.groups, task.elements_by_span, out[i],
-                plans, scratch,
-            )
+            padded = pad_chunk(chunk, m)
+            if native:
+                # Compiled fused kernels, picked up transparently by
+                # every worker after fork: same per-window products,
+                # same np.sum reduction — per-block sums stay
+                # bit-identical to the numpy path.
+                _native_database_block(
+                    padded, c_ext, task.groups, task.elements_by_span,
+                    out[i], scratch,
+                )
+            else:
+                gathered = gather_chunk(c_ext, padded)
+                chunk_database_totals(
+                    gathered, task.groups, task.elements_by_span, out[i],
+                    plans, scratch,
+                )
     elif task.kind == TASK_SYMBOL_TOTALS:
         out = np.zeros((len(block_starts), m), dtype=np.float64)
+        maxima: Optional[np.ndarray] = None
         for i, start in enumerate(block_starts):
             chunk = rows[start : start + task.chunk_rows]
-            gathered = gather_chunk(c_ext, pad_chunk(chunk, m))
-            out[i] = chunk_symbol_totals(gathered)
+            padded = pad_chunk(chunk, m)
+            if native:
+                if maxima is None or maxima.shape[1] != padded.shape[0]:
+                    maxima = np.empty(
+                        (m, padded.shape[0]), dtype=c_ext.dtype
+                    )
+                _nk.symbol_window_maxima(padded, c_ext, maxima)
+                out[i] = maxima.sum(axis=1)
+            else:
+                gathered = gather_chunk(c_ext, padded)
+                out[i] = chunk_symbol_totals(gathered)
     else:
         raise MiningError(f"unknown shard task kind {task.kind!r}")
     return ShardResult(

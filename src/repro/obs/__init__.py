@@ -36,6 +36,9 @@ from .tracer import (
     IO_CHUNK_SECONDS,
     IO_CHUNKS,
     IO_COUNTER_ATTRS,
+    JIT_COMPILE_SECONDS,
+    NATIVE_FALLBACKS,
+    NATIVE_KERNEL_CALLS,
     NULL_TRACER,
     NullTracer,
     PATTERNS_COUNTED,
@@ -79,7 +82,10 @@ __all__ = [
     "IO_CHUNKS",
     "IO_CHUNK_SECONDS",
     "IO_COUNTER_ATTRS",
+    "JIT_COMPILE_SECONDS",
     "LATTICE_CANDIDATES",
+    "NATIVE_FALLBACKS",
+    "NATIVE_KERNEL_CALLS",
     "NULL_TRACER",
     "NullTracer",
     "PATTERNS_COUNTED",

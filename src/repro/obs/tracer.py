@@ -80,6 +80,9 @@ RESULT_MEMO_HITS = "result_memo_hits"
 DELTA_SCANS = "delta_scans"
 DELTA_PATTERNS_COUNTED = "delta_patterns_counted"
 BORDER_REPROBES = "border_reprobes"
+NATIVE_KERNEL_CALLS = "native_kernel_calls"
+JIT_COMPILE_SECONDS = "jit_compile_seconds"
+NATIVE_FALLBACKS = "native_fallbacks"
 
 #: The disk-resident backends' lifetime I/O accumulators, in the order
 #: they are snapshotted.  ``io_chunk_seconds`` is a float counter —

@@ -30,12 +30,15 @@ from repro.engine import (
     ENGINE_ENV_VAR,
     FactorCache,
     MatchEngine,
+    NativeEngine,
     ParallelEngine,
     ReferenceEngine,
     VectorizedBatchEngine,
     WORKERS_ENV_VAR,
     available_engines,
     get_engine,
+    native_available,
+    native_unavailable_reason,
     resolve_worker_count,
 )
 from repro.mining import LevelwiseMiner
@@ -50,7 +53,30 @@ M = 5  # alphabet size used throughout
 REF = ReferenceEngine()
 VEC = VectorizedBatchEngine(chunk_rows=3)
 PAR = ParallelEngine(n_workers=2, chunk_rows=3, min_shard_rows=1)
-ENGINES = [REF, VEC, PAR]
+#: The native backend's interpreted twins are always differential-tested;
+#: the compiled specialisations join the matrix only where numba exists.
+NAT_PURE = NativeEngine(chunk_rows=3, kernels="pure")
+ENGINES = [REF, VEC, PAR, NAT_PURE]
+if native_available:
+    ENGINES.append(NativeEngine(chunk_rows=3))
+#: Every non-reference backend must agree with REF to 1e-12.
+OTHERS = [engine for engine in ENGINES if engine is not REF]
+
+
+def _engine_id(engine: MatchEngine) -> str:
+    if isinstance(engine, NativeEngine):
+        return "native-pure" if not engine.compiled else "native-jit"
+    return engine.name
+
+
+def test_numba_absence_is_recorded():
+    """When numba is missing the compiled matrix entries auto-skip, but
+    the skip must carry the recorded import-failure reason."""
+    if native_available:
+        pytest.skip("numba present: compiled engine is in the matrix")
+    reason = native_unavailable_reason()
+    assert reason  # e.g. "No module named 'numba'"
+    pytest.skip(f"compiled native kernels unavailable: {reason}")
 
 
 # -- strategies ----------------------------------------------------------------
@@ -106,12 +132,10 @@ def pattern_batches() -> st.SearchStrategy:
 @settings(max_examples=120, deadline=None)
 def test_sequence_match_equivalence(pattern, sequence, matrix):
     baseline = REF.sequence_match(pattern, sequence, matrix)
-    assert VEC.sequence_match(pattern, sequence, matrix) == pytest.approx(
-        baseline, abs=1e-12
-    )
-    assert PAR.sequence_match(pattern, sequence, matrix) == pytest.approx(
-        baseline, abs=1e-12
-    )
+    for engine in OTHERS:
+        assert engine.sequence_match(
+            pattern, sequence, matrix
+        ) == pytest.approx(baseline, abs=1e-12)
 
 
 @given(patterns(), matrices(), st.data())
@@ -125,12 +149,10 @@ def test_segment_match_equivalence(pattern, matrix, data):
         )
     )
     baseline = REF.segment_match(pattern, segment, matrix)
-    assert VEC.segment_match(pattern, segment, matrix) == pytest.approx(
-        baseline, abs=1e-12
-    )
-    assert PAR.segment_match(pattern, segment, matrix) == pytest.approx(
-        baseline, abs=1e-12
-    )
+    for engine in OTHERS:
+        assert engine.segment_match(
+            pattern, segment, matrix
+        ) == pytest.approx(baseline, abs=1e-12)
 
 
 @given(pattern_batches(), databases(), matrices())
@@ -138,7 +160,7 @@ def test_segment_match_equivalence(pattern, matrix, data):
 def test_database_matches_equivalence(batch, database, matrix):
     batch = list(dict.fromkeys(batch))
     baseline = REF.database_matches(batch, database, matrix)
-    for engine in (VEC, PAR):
+    for engine in OTHERS:
         result = engine.database_matches(batch, database, matrix)
         assert set(result) == set(baseline)
         for pattern in batch:
@@ -147,16 +169,37 @@ def test_database_matches_equivalence(batch, database, matrix):
             )
 
 
+@given(pattern_batches(), databases(), matrices())
+@settings(max_examples=40, deadline=None)
+def test_native_float64_is_bit_identical_to_vectorized(
+    batch, database, matrix
+):
+    # Stronger than the 1e-12 contract: at equal chunk_rows the native
+    # float64 kernels reproduce the vectorized backend bit for bit.
+    batch = list(dict.fromkeys(batch))
+    baseline = VEC.database_matches(batch, database, matrix)
+    for engine in ENGINES:
+        if not isinstance(engine, NativeEngine):
+            continue
+        result = engine.database_matches(batch, database, matrix)
+        for pattern in batch:
+            assert result[pattern] == baseline[pattern]
+
+
 @given(databases(), matrices())
 @settings(max_examples=40, deadline=None)
 def test_symbol_matches_equivalence(database, matrix):
     baseline = REF.symbol_matches(database, matrix)
-    np.testing.assert_allclose(
-        VEC.symbol_matches(database, matrix), baseline, atol=1e-12
-    )
-    np.testing.assert_allclose(
-        PAR.symbol_matches(database, matrix), baseline, atol=1e-12
-    )
+    for engine in OTHERS:
+        np.testing.assert_allclose(
+            engine.symbol_matches(database, matrix), baseline, atol=1e-12
+        )
+    for engine in ENGINES:
+        if isinstance(engine, NativeEngine):  # bit-identity, not closeness
+            np.testing.assert_array_equal(
+                engine.symbol_matches(database, matrix),
+                VEC.symbol_matches(database, matrix),
+            )
 
 
 @given(databases(), matrices())
@@ -164,25 +207,23 @@ def test_symbol_matches_equivalence(database, matrix):
 def test_symbol_matches_rows_equivalence(database, matrix):
     rows = [seq for _sid, seq in database.scan()]
     baseline = REF.symbol_matches_rows(rows, matrix)
-    np.testing.assert_allclose(
-        VEC.symbol_matches_rows(rows, matrix), baseline, atol=1e-12
-    )
-    np.testing.assert_allclose(
-        PAR.symbol_matches_rows(rows, matrix), baseline, atol=1e-12
-    )
+    for engine in OTHERS:
+        np.testing.assert_allclose(
+            engine.symbol_matches_rows(rows, matrix), baseline, atol=1e-12
+        )
 
 
 # -- deterministic edge cases --------------------------------------------------
 
 class TestEdgeCases:
-    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    @pytest.mark.parametrize("engine", ENGINES, ids=_engine_id)
     def test_span_longer_than_every_sequence(self, engine, fig2_matrix):
         database = SequenceDatabase([[0, 1], [2]])
         long_pattern = Pattern([0] + [WILDCARD] * 10 + [1])
         result = engine.database_matches([long_pattern], database, fig2_matrix)
         assert result[long_pattern] == 0.0
 
-    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    @pytest.mark.parametrize("engine", ENGINES, ids=_engine_id)
     def test_span_longer_than_some_sequences(self, engine, fig2_matrix):
         # Mixed lengths: the padded kernel must not let windows that
         # overlap the padding contribute anything.
@@ -195,7 +236,7 @@ class TestEdgeCases:
         result = engine.database_matches([pattern], database, fig2_matrix)
         assert result[pattern] == pytest.approx(expected, abs=1e-12)
 
-    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    @pytest.mark.parametrize("engine", ENGINES, ids=_engine_id)
     def test_wildcard_heavy_pattern(self, engine, fig2_matrix):
         database = SequenceDatabase(
             [[0, 1, 2, 3, 4, 0, 1, 2], [4, 3, 2, 1, 0]]
@@ -210,7 +251,7 @@ class TestEdgeCases:
             baseline[pattern], abs=1e-12
         )
 
-    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    @pytest.mark.parametrize("engine", ENGINES, ids=_engine_id)
     def test_empty_batch_costs_nothing(self, engine, fig4_database,
                                        fig2_matrix):
         before = fig4_database.scan_count
@@ -224,7 +265,7 @@ class TestEdgeCases:
 
 
 class TestScanContract:
-    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    @pytest.mark.parametrize("engine", ENGINES, ids=_engine_id)
     def test_database_matches_is_one_scan(self, engine, fig4_database,
                                           fig2_matrix):
         batch = [Pattern([0, 1]), Pattern([1, WILDCARD, 0]), Pattern([3])]
@@ -232,7 +273,7 @@ class TestScanContract:
         engine.database_matches(batch, fig4_database, fig2_matrix)
         assert fig4_database.scan_count == before + 1
 
-    @pytest.mark.parametrize("engine", ENGINES, ids=lambda e: e.name)
+    @pytest.mark.parametrize("engine", ENGINES, ids=_engine_id)
     def test_symbol_matches_is_one_scan(self, engine, fig4_database,
                                         fig2_matrix):
         before = fig4_database.scan_count
@@ -323,7 +364,7 @@ class TestFactorCache:
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"reference", "vectorized", "parallel"} <= set(
+        assert {"reference", "vectorized", "parallel", "native"} <= set(
             available_engines()
         )
 
@@ -370,10 +411,11 @@ class TestMinerEquivalence:
             miner = LevelwiseMiner(
                 matrix, min_match=0.25, memory_capacity=7, engine=engine
             )
-            results[engine.name] = miner.mine(database)
+            results[_engine_id(engine)] = miner.mine(database)
         baseline = results["reference"]
-        for name in ("vectorized", "parallel"):
-            result = results[name]
+        for name, result in results.items():
+            if name == "reference":
+                continue
             assert set(result.frequent) == set(baseline.frequent)
             for pattern, value in baseline.frequent.items():
                 assert result.frequent[pattern] == pytest.approx(

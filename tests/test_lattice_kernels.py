@@ -12,6 +12,8 @@ both modes.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -28,6 +30,8 @@ from repro import (
     SequenceDatabase,
     WILDCARD,
 )
+from repro.core import _nativekernels as _nk
+from repro.core import latticekernels as _lk
 from repro.core.lattice import reference_generate_candidates
 from repro.core.latticekernels import (
     DEFAULT_LATTICE_MODE,
@@ -55,6 +59,38 @@ from repro.mining.pincer import PincerMiner
 from repro.mining.toivonen import ToivonenMiner
 
 M = 5  # alphabet size for the random strategies
+
+#: Containment-sweep / membership dispatch variants the kernel lattice
+#: must be bit-identical across: the numpy byte-set path, the
+#: interpreted kernel twins, and (where numba imports) the compiled
+#: kernels.  Compiled entries auto-skip with the recorded reason when
+#: numba is unavailable.
+NATIVE_DISPATCH = ["numpy", "native-pure"]
+if _nk.native_available:
+    NATIVE_DISPATCH.append("native-jit")
+else:
+    NATIVE_DISPATCH_SKIP = (
+        f"compiled native kernels unavailable: "
+        f"{_nk.native_unavailable_reason()}"
+    )
+
+
+@contextmanager
+def native_dispatch(mode: str):
+    """Pin the lattice module's kernel dispatch to one variant."""
+    saved = (_lk._NATIVE_SWEEP, _lk._NATIVE_MEMBER)
+    if mode == "numpy":
+        _lk._NATIVE_SWEEP = _lk._NATIVE_MEMBER = None
+    elif mode == "native-pure":
+        _lk._NATIVE_SWEEP = _nk.py_containment_sweep
+        _lk._NATIVE_MEMBER = _nk.py_rows_in_sorted
+    else:  # native-jit
+        _lk._NATIVE_SWEEP = _nk.containment_sweep
+        _lk._NATIVE_MEMBER = _nk.rows_in_sorted
+    try:
+        yield
+    finally:
+        _lk._NATIVE_SWEEP, _lk._NATIVE_MEMBER = saved
 
 
 # -- strategies ----------------------------------------------------------------
@@ -199,8 +235,12 @@ def test_kernel_candidates_equal_reference(frequent, constraints, symbols):
     expected = reference_generate_candidates(
         frequent, frequent_symbols, constraints
     )
-    got = kernel_generate_candidates(frequent, frequent_symbols, constraints)
-    assert got == expected
+    for mode in NATIVE_DISPATCH:
+        with native_dispatch(mode):
+            got = kernel_generate_candidates(
+                frequent, frequent_symbols, constraints
+            )
+        assert got == expected, mode
 
 
 # -- batch containment ---------------------------------------------------------
@@ -211,11 +251,17 @@ def test_kernel_candidates_equal_reference(frequent, constraints, symbols):
 def test_subsumption_hits_equal_pairwise_sweep(inner_set, outer_set):
     inner = sorted(inner_set)
     outer = sorted(outer_set)
-    inner_any, outer_any = subsumption_hits(inner, outer)
-    for i, p in enumerate(inner):
-        assert inner_any[i] == any(p.is_subpattern_of(q) for q in outer)
-    for j, q in enumerate(outer):
-        assert outer_any[j] == any(p.is_subpattern_of(q) for p in inner)
+    for mode in NATIVE_DISPATCH:
+        with native_dispatch(mode):
+            inner_any, outer_any = subsumption_hits(inner, outer)
+        for i, p in enumerate(inner):
+            assert inner_any[i] == any(
+                p.is_subpattern_of(q) for q in outer
+            ), mode
+        for j, q in enumerate(outer):
+            assert outer_any[j] == any(
+                p.is_subpattern_of(q) for p in inner
+            ), mode
 
 
 @given(pattern_sets(), pattern_sets())
@@ -224,9 +270,11 @@ def test_contains_any_equals_border_covers(queries_set, members_set):
     queries = sorted(queries_set)
     members = sorted(members_set)
     border = Border(members, lattice="reference")
-    hits = contains_any(queries, members)
-    for hit, query in zip(hits, queries):
-        assert bool(hit) == border.covers(query)
+    for mode in NATIVE_DISPATCH:
+        with native_dispatch(mode):
+            hits = contains_any(queries, members)
+        for hit, query in zip(hits, queries):
+            assert bool(hit) == border.covers(query), mode
 
 
 @given(pattern_sets(), pattern_sets(max_size=6), pattern_sets(max_size=6))
@@ -246,8 +294,12 @@ def test_filter_undecided_equals_reference_propagation(
             killer.is_subpattern_of(pattern) for killer in newly_infrequent
         )
     }
-    got = filter_undecided(undecided, newly_frequent, newly_infrequent)
-    assert got == expected
+    for mode in NATIVE_DISPATCH:
+        with native_dispatch(mode):
+            got = filter_undecided(
+                undecided, newly_frequent, newly_infrequent
+            )
+        assert got == expected, mode
 
 
 # -- border kernel mode --------------------------------------------------------
@@ -256,13 +308,15 @@ def test_filter_undecided_equals_reference_propagation(
 @given(st.lists(patterns(), min_size=0, max_size=20), pattern_sets(max_size=8))
 @settings(max_examples=100, deadline=None)
 def test_border_kernel_mode_is_bit_identical(inserts, queries):
-    reference = Border(lattice="reference")
-    kernel = Border(lattice="kernel")
-    for pattern in inserts:
-        assert kernel.add(pattern) == reference.add(pattern)
-        assert kernel.elements == reference.elements
-    for query in queries:
-        assert kernel.covers(query) == reference.covers(query)
+    for mode in NATIVE_DISPATCH:
+        with native_dispatch(mode):
+            reference = Border(lattice="reference")
+            kernel = Border(lattice="kernel")
+            for pattern in inserts:
+                assert kernel.add(pattern) == reference.add(pattern), mode
+                assert kernel.elements == reference.elements, mode
+            for query in queries:
+                assert kernel.covers(query) == reference.covers(query), mode
 
 
 def test_border_copy_preserves_lattice_mode():
@@ -323,14 +377,16 @@ MINER_FACTORIES = {
 }
 
 
+@pytest.mark.parametrize("dispatch", NATIVE_DISPATCH)
 @pytest.mark.parametrize("algorithm", sorted(MINER_FACTORIES))
-def test_miners_bit_identical_across_lattice_modes(algorithm):
+def test_miners_bit_identical_across_lattice_modes(algorithm, dispatch):
     matrix = CompatibilityMatrix.uniform_noise(M, 0.15)
     results = {}
-    for lattice in LATTICE_MODES:
-        database = _random_database()
-        miner = MINER_FACTORIES[algorithm](matrix, lattice)
-        results[lattice] = miner.mine(database)
+    with native_dispatch(dispatch):
+        for lattice in LATTICE_MODES:
+            database = _random_database()
+            miner = MINER_FACTORIES[algorithm](matrix, lattice)
+            results[lattice] = miner.mine(database)
     reference, kernel = results["reference"], results["kernel"]
     # Same frequent set with bit-identical match values.
     assert kernel.frequent == reference.frequent

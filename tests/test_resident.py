@@ -27,6 +27,7 @@ from repro import (
     symbol_matches,
 )
 from repro.engine import (
+    NativeEngine,
     PlaneStore,
     RESIDENT_ENV_VAR,
     ReferenceEngine,
@@ -34,6 +35,7 @@ from repro.engine import (
     VectorizedBatchEngine,
     available_engines,
     get_engine,
+    native_available,
     resident_from_env,
 )
 from repro.engine.resident import _strip_last
@@ -135,6 +137,16 @@ def test_bit_identical_to_vectorized_at_equal_chunk_rows(
         # == on purpose: same multiply order, same chunk accumulation
         # order, therefore the same float64 bit pattern.
         assert got[pattern] == expected[pattern]
+    # The native backend (interpreted twins, plus the compiled kernels
+    # where numba imports) shares the same bit pattern — so resident and
+    # native results are mutually bit-identical too.
+    natives = [NativeEngine(chunk_rows=3, kernels="pure")]
+    if native_available:
+        natives.append(NativeEngine(chunk_rows=3))
+    for nat in natives:
+        native_got = nat.database_matches(batch, database, matrix)
+        for pattern in batch:
+            assert native_got[pattern] == expected[pattern]
 
 
 @given(databases(), matrices())
