@@ -8,7 +8,11 @@ per-phase ``scans`` counters of the top-level phases summing exactly to
 the reported total, and the metrics block of ``--json`` output matching
 the standalone file.  One combination additionally runs with
 ``--resident-sample`` and checks the resident plane-store counters
-reach the report.  Finally the Phase-2 sample benchmark runs in
+reach the report, and another combines ``--resident-sample`` with
+``--engine native`` to exercise the compiled resident Phase-2 path
+(``resident_native_calls`` must tick where numba imports and stay
+zero where the auto dispatch degrades).  Finally the Phase-2 sample
+benchmark runs in
 ``--smoke`` mode (correctness gate only, no timing assertions) and its
 ``BENCH_phase2.json`` is copied next to the metrics files, followed by
 the scan I/O benchmark (``BENCH_io.json``), the lattice-kernel
@@ -55,6 +59,7 @@ RESIDENT_COUNTERS = (
     "resident_plane_hits",
     "resident_plane_misses",
     "resident_plane_bytes",
+    "resident_native_calls",
 )
 
 REQUIRED_KEYS = {
@@ -150,6 +155,54 @@ def main(argv=None) -> int:
         )
     print(f"{'border-collapsing':18s} {'resident-sample':10s} "
           f"scans={payload['scans']} plane_counters=ok")
+
+    # The compiled resident Phase-2 path: --engine native plus
+    # --resident-sample under graceful fallback, so the run succeeds
+    # on numba-free legs (numpy planes) and dispatches to the compiled
+    # incremental-plane kernels where numba imports.
+    native_resident_path = out / "metrics_border-collapsing_native-resident.json"
+    saved_fallback = os.environ.get(NATIVE_FALLBACK_ENV_VAR)
+    os.environ[NATIVE_FALLBACK_ENV_VAR] = "1"
+    try:
+        rc = cli_main([
+            "mine", str(db_path), "--alphabet", "6",
+            "--min-match", "0.6", "--noise", "0.05",
+            "--algorithm", "border-collapsing", "--engine", "native",
+            "--resident-sample", "--resident-kernels", "auto",
+            "--sample-size", "80", "--max-weight", "4", "--max-span", "5",
+            "--seed", "7", "--metrics-json", str(native_resident_path),
+        ])
+    finally:
+        if saved_fallback is None:
+            os.environ.pop(NATIVE_FALLBACK_ENV_VAR, None)
+        else:
+            os.environ[NATIVE_FALLBACK_ENV_VAR] = saved_fallback
+    if rc != 0:
+        print("mine failed for --resident --engine native", file=sys.stderr)
+        return rc
+    payload = json.loads(native_resident_path.read_text())
+    validate_report(payload, "border-collapsing", "native")
+    missing = [
+        name for name in RESIDENT_COUNTERS
+        if name not in payload["counters"]
+    ]
+    if missing:
+        raise AssertionError(
+            f"native resident report lacks counters: {missing}"
+        )
+    native_calls = payload["counters"]["resident_native_calls"]
+    if native_available and not native_calls:
+        raise AssertionError(
+            "numba is importable but the resident run recorded no "
+            "compiled kernel calls"
+        )
+    if not native_available and native_calls:
+        raise AssertionError(
+            "numba is absent but resident_native_calls ticked — the "
+            "auto dispatch failed to degrade to the numpy path"
+        )
+    print(f"{'border-collapsing':18s} {'native+resident':10s} "
+          f"scans={payload['scans']} resident_native_calls={native_calls}")
 
     # The native backend: a compiled run where numba is installed, the
     # explicit graceful-degradation path everywhere else — either way
@@ -256,7 +309,7 @@ def main(argv=None) -> int:
         return rc
     shutil.copy(bench_native.OUTPUT, out / "BENCH_native.json")
 
-    print(f"all {len(COMBINATIONS) + 2} metrics reports valid; "
+    print(f"all {len(COMBINATIONS) + 3} metrics reports valid; "
           f"artifacts in {out}/")
     return 0
 

@@ -47,7 +47,7 @@ from .core.latticekernels import LATTICE_MODES
 from .core.pattern import Pattern
 from .core.sequence import FileSequenceDatabase
 from .datagen.motifs import Motif, random_motif
-from .engine import SCORE_DTYPES, available_engines
+from .engine import RESIDENT_KERNEL_MODES, SCORE_DTYPES, available_engines
 from .datagen.noise import corrupt_uniform
 from .datagen.synthetic import generate_database
 from .errors import NoisyMineError
@@ -108,10 +108,10 @@ def _add_mining_options(parser: argparse.ArgumentParser) -> None:
         "--score-dtype",
         choices=list(SCORE_DTYPES),
         default=None,
-        help="scoring precision of the native engine: 'float64' "
-             "(default, bit-identical to every backend) or 'float32' "
-             "(halved scoring-pass memory traffic, match values within "
-             "the documented error bound; requires --engine native) "
+        help="scoring precision: 'float64' (default, bit-identical to "
+             "every backend) or 'float32' (halved scoring-pass memory "
+             "traffic, match values within the documented error bound; "
+             "requires --engine native or --resident-sample) "
              "(default: $NOISYMINE_SCORE_DTYPE, else 'float64')",
     )
     parser.add_argument(
@@ -136,6 +136,18 @@ def _add_mining_options(parser: argparse.ArgumentParser) -> None:
              "sampling algorithms (border-collapsing, toivonen) "
              "(default: $NOISYMINE_RESIDENT, else off)",
     )
+    parser.add_argument(
+        "--resident-kernels",
+        choices=list(RESIDENT_KERNEL_MODES),
+        default=None,
+        help="kernel dispatch of the resident Phase-2 evaluator: 'auto' "
+             "(compiled incremental-plane kernels when numba is "
+             "available, numpy otherwise), 'numpy' (force the numpy "
+             "plane path), or 'pure' (interpreted kernel twins, for "
+             "differential testing); all dispatches are bit-identical "
+             "at equal --score-dtype "
+             "(default: $NOISYMINE_RESIDENT_KERNELS, else 'auto')",
+    )
     parser.add_argument("--seed", type=int, default=None)
 
 
@@ -157,6 +169,7 @@ def _config_from_args(args: argparse.Namespace) -> MiningConfig:
         engine=args.engine,
         lattice=args.lattice,
         resident_sample=args.resident_sample,
+        resident_kernels=args.resident_kernels,
         store=getattr(args, "store", None),
         score_dtype=args.score_dtype,
     )

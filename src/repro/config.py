@@ -41,7 +41,12 @@ from .core.latticekernels import LATTICE_MODES, resolve_lattice
 from .core.sequence import FileSequenceDatabase
 from .engine import MatchEngine, get_engine, resolve_engine_name
 from .engine.native import NativeEngine, SCORE_DTYPES, resolve_score_dtype
-from .engine.resident import ResidentSampleEvaluator, resident_from_env
+from .engine.resident import (
+    RESIDENT_KERNEL_MODES,
+    ResidentSampleEvaluator,
+    resident_from_env,
+    resident_kernels_from_env,
+)
 from .errors import MiningError, NoisyMineError
 from .io import (
     PackedSequenceStore,
@@ -158,12 +163,17 @@ class MiningConfig:
     engine: str = "reference"
     lattice: str = "kernel"
     resident_sample: bool = False
+    #: Kernel dispatch of the resident Phase-2 evaluator (``"auto"`` /
+    #: ``"numpy"`` / ``"pure"``); an execution knob — every dispatch is
+    #: bit-identical at equal ``score_dtype``.
+    resident_kernels: str = "auto"
     store: str = "auto"
-    #: Scoring dtype of the native engine.  ``"float64"`` is an
-    #: execution knob like ``engine`` (bit-identical everywhere);
-    #: ``"float32"`` changes results within a documented error bound,
-    #: so it participates in :meth:`to_key` and requires the native
-    #: backend.
+    #: Scoring dtype of the native engine and the resident Phase-2
+    #: evaluator.  ``"float64"`` is an execution knob like ``engine``
+    #: (bit-identical everywhere); ``"float32"`` changes results within
+    #: a documented error bound, so it participates in :meth:`to_key`
+    #: and requires a backend that supports it (the native engine, or
+    #: ``resident_sample`` for the Phase-2 path).
     score_dtype: str = "float64"
 
     def __post_init__(self):
@@ -199,10 +209,20 @@ class MiningConfig:
                 f"unknown score dtype {self.score_dtype!r}; "
                 f"expected one of: {', '.join(SCORE_DTYPES)}"
             )
-        if self.score_dtype != "float64" and self.engine != "native":
+        if self.resident_kernels not in RESIDENT_KERNEL_MODES:
+            raise MiningError(
+                f"unknown resident kernel mode {self.resident_kernels!r}; "
+                f"expected one of: {', '.join(RESIDENT_KERNEL_MODES)}"
+            )
+        if (
+            self.score_dtype != "float64"
+            and self.engine != "native"
+            and not self.resident_sample
+        ):
             raise MiningError(
                 f"score_dtype {self.score_dtype!r} requires the native "
-                f"engine (got engine {self.engine!r}); the other "
+                f"engine or the resident Phase-2 evaluator (got engine "
+                f"{self.engine!r} without resident_sample); the other "
                 "backends are float64-only"
             )
 
@@ -226,6 +246,7 @@ class MiningConfig:
         engine: Optional[str] = None,
         lattice: Optional[str] = None,
         resident_sample: Optional[bool] = None,
+        resident_kernels: Optional[str] = None,
         store: Optional[str] = None,
         score_dtype: Optional[str] = None,
     ) -> "MiningConfig":
@@ -234,6 +255,7 @@ class MiningConfig:
         ``None`` for an execution field consults its ``NOISYMINE_*``
         environment variable (``NOISYMINE_ENGINE``,
         ``NOISYMINE_LATTICE``, ``NOISYMINE_RESIDENT``,
+        ``NOISYMINE_RESIDENT_KERNELS``,
         ``NOISYMINE_STORE``, ``NOISYMINE_SCORE_DTYPE``) and falls back
         to the library default; a malformed environment value raises
         instead of silently running the default — the CLI's historical
@@ -259,6 +281,10 @@ class MiningConfig:
             resident_sample=(
                 resident_from_env() if resident_sample is None
                 else bool(resident_sample)
+            ),
+            resident_kernels=(
+                resident_kernels_from_env() if resident_kernels is None
+                else resident_kernels
             ),
             store=resolve_store_mode(store),
             score_dtype=resolve_score_dtype(score_dtype),
@@ -323,10 +349,11 @@ class MiningConfig:
             # instances may have been switched by a previous float32
             # run, so always (re)apply it.
             engine.set_score_dtype(self.score_dtype)
-        elif self.score_dtype != "float64":
+        elif self.score_dtype != "float64" and not self.resident_sample:
             raise MiningError(
                 f"score_dtype {self.score_dtype!r} requires the native "
-                f"engine, but the run resolved to {engine.name!r}"
+                f"engine or the resident Phase-2 evaluator, but the run "
+                f"resolved to {engine.name!r} without resident_sample"
             )
         common = dict(
             constraints=constraints, engine=engine, tracer=tracer,
@@ -335,9 +362,20 @@ class MiningConfig:
         if self.algorithm in SAMPLING_ALGORITHMS:
             resident_spec: Union[None, bool, ResidentSampleEvaluator]
             if resident is not None and self.resident_sample:
+                # The config owns the dispatch and dtype: a warm
+                # evaluator pinned across jobs may have been switched
+                # by a previous run, so always (re)apply both (a dtype
+                # change re-pins lazily on the next count).
+                resident.set_kernel_mode(self.resident_kernels)
+                resident.set_score_dtype(self.score_dtype)
                 resident_spec = resident
+            elif self.resident_sample:
+                resident_spec = ResidentSampleEvaluator(
+                    kernels=self.resident_kernels,
+                    score_dtype=self.score_dtype,
+                )
             else:
-                resident_spec = self.resident_sample
+                resident_spec = False
             cls = (
                 BorderCollapsingMiner
                 if self.algorithm == "border-collapsing"
@@ -430,6 +468,7 @@ class MiningConfig:
             "engine": self.engine,
             "lattice": self.lattice,
             "resident_sample": self.resident_sample,
+            "resident_kernels": self.resident_kernels,
             "store": self.store,
             "score_dtype": self.score_dtype,
         }

@@ -239,6 +239,122 @@ def py_rows_in_sorted(queries, table, out):
         out[i] = hit
 
 
+def py_derive_child_planes(padded, c_ext, parent, symbol, offset, plane_out,
+                           maxima_out):
+    """Fused child-plane derivation for the resident evaluator.
+
+    A child pattern is its parent plus one fixed *symbol* at position
+    *offset*; its score plane is the parent's plane times one shifted
+    factor row.  This kernel fuses the derivation with the per-sequence
+    reduction: ``plane_out[w, i] = parent[w, i] * c_ext[symbol,
+    padded[i, offset + w]]`` and ``maxima_out[i] = max_w plane_out[w,
+    i]`` in one loop nest, never materialising the ``(m + 1, L, N)``
+    factor array :func:`repro.engine.kernels.extend_plane` gathers
+    from.  *parent* may have more than ``L - offset`` rows (a
+    shallower ancestor's plane); only the first ``L - offset`` are
+    read.  Multiplies run in the numpy path's offset order and the max
+    is exact, so float64 planes are bit-identical to ``extend_plane``.
+    """
+    zero = np.zeros(1, c_ext.dtype)[0]
+    n, length = padded.shape
+    windows = length - offset
+    for i in range(n):
+        maxima_out[i] = zero
+    for w in range(windows):
+        t = w + offset
+        for i in range(n):
+            value = parent[w, i] * c_ext[symbol, padded[i, t]]
+            plane_out[w, i] = value
+            if value > maxima_out[i]:
+                maxima_out[i] = value
+
+
+def py_derive_sibling_batch(padded, c_ext, parent, use_parent, symbols,
+                            offset, maxima_out):
+    """One BFS sibling group — same parent, same offset — in one call.
+
+    ``maxima_out[s, i] = max_w parent[w, i] * c_ext[symbols[s],
+    padded[i, offset + w]]`` for every sibling ``s``.  The shared
+    parent-plane element and the observed symbol are loaded once per
+    ``(w, i)`` and the sibling loop runs innermost, so the dominant
+    memory traffic (the parent plane) is paid once per group instead of
+    once per candidate.  ``use_parent=False`` evaluates a root group
+    (span-1 patterns, ``offset == 0``): the plane is the factor row
+    itself and *parent* is ignored.  Matrix entries are non-negative,
+    so initialising the running maxima to zero matches
+    ``np.maximum.reduce`` bit for bit.
+    """
+    zero = np.zeros(1, c_ext.dtype)[0]
+    n, length = padded.shape
+    windows = length - offset
+    s_count = symbols.shape[0]
+    for s in range(s_count):
+        for i in range(n):
+            maxima_out[s, i] = zero
+    if use_parent:
+        for w in range(windows):
+            t = w + offset
+            for i in range(n):
+                shared = parent[w, i]
+                obs = padded[i, t]
+                for s in range(s_count):
+                    value = shared * c_ext[symbols[s], obs]
+                    if value > maxima_out[s, i]:
+                        maxima_out[s, i] = value
+    else:
+        for w in range(windows):
+            t = w + offset
+            for i in range(n):
+                obs = padded[i, t]
+                for s in range(s_count):
+                    value = c_ext[symbols[s], obs]
+                    if value > maxima_out[s, i]:
+                        maxima_out[s, i] = value
+
+
+def py_replay_plane_chain(padded, c_ext, base, use_base, symbols, offsets,
+                          plane_out):
+    """Rebuild an evicted score plane by replaying its prefix chain.
+
+    *symbols*/*offsets* hold the chain links to apply in prefix order
+    (outermost ancestor first, the target pattern's own last symbol
+    last).  With ``use_base`` the plane seeds from *base*, the deepest
+    still-stored ancestor's plane; otherwise the first link must be
+    the span-1 root (``offsets[0] == 0``) and the plane seeds from its
+    factor row.  Every link then multiplies its shifted factor row in
+    place — the whole chain replays inside one kernel call instead of
+    one Python-level ``extend_plane`` per link.
+
+    Only the final span's ``L - offsets[-1]`` window rows are tracked:
+    row ``w`` of any plane depends only on row ``w`` of its ancestors,
+    so the truncation is exact and the left-to-right multiply order
+    keeps float64 results bit-identical to the numpy recursion.
+    """
+    n, length = padded.shape
+    links = symbols.shape[0]
+    windows = length - offsets[links - 1]
+    start = 0
+    if use_base:
+        for w in range(windows):
+            for i in range(n):
+                plane_out[w, i] = base[w, i]
+    else:
+        root = symbols[0]
+        for w in range(windows):
+            for i in range(n):
+                plane_out[w, i] = c_ext[root, padded[i, w]]
+        start = 1
+    for j in range(start, links):
+        symbol = symbols[j]
+        off = offsets[j]
+        for w in range(windows):
+            t = w + off
+            for i in range(n):
+                plane_out[w, i] = (
+                    plane_out[w, i] * c_ext[symbol, padded[i, t]]
+                )
+
+
 # -- compiled selection -------------------------------------------------------
 
 def _compile(function: Callable) -> Callable:
@@ -256,6 +372,9 @@ window_group_maxima = _compile(py_window_group_maxima)
 symbol_window_maxima = _compile(py_symbol_window_maxima)
 containment_sweep = _compile(py_containment_sweep)
 rows_in_sorted = _compile(py_rows_in_sorted)
+derive_child_planes = _compile(py_derive_child_planes)
+derive_sibling_batch = _compile(py_derive_sibling_batch)
+replay_plane_chain = _compile(py_replay_plane_chain)
 
 
 # -- warm-up accounting -------------------------------------------------------
@@ -295,6 +414,35 @@ def warm_kernels() -> float:
             symbol_window_maxima(
                 padded, c_ext, np.zeros((2, 1), dtype=dtype)
             )
+            # The resident-evaluator kernels: a (windows, N) = (3, 1)
+            # plane, one sibling pair and a two-link replay chain warm
+            # every signature the hot loop dispatches, including the
+            # rootless (use_parent/use_base = False) branches.
+            plane = np.ones((3, 1), dtype=dtype)
+            maxima = np.zeros(1, dtype=dtype)
+            derive_child_planes(
+                padded, c_ext, plane, 0, 1,
+                np.zeros((2, 1), dtype=dtype), maxima,
+            )
+            siblings = np.array([0, 1], dtype=np.int64)
+            derive_sibling_batch(
+                padded, c_ext, plane, True, siblings, 1,
+                np.zeros((2, 1), dtype=dtype),
+            )
+            derive_sibling_batch(
+                padded, c_ext, plane, False, siblings, 0,
+                np.zeros((2, 1), dtype=dtype),
+            )
+            chain_symbols = np.array([0, 1], dtype=np.int64)
+            chain_offsets = np.array([0, 1], dtype=np.int64)
+            replay_plane_chain(
+                padded, c_ext, plane, False, chain_symbols, chain_offsets,
+                np.zeros((2, 1), dtype=dtype),
+            )
+            replay_plane_chain(
+                padded, c_ext, plane, True, chain_symbols[1:],
+                chain_offsets[1:], np.zeros((2, 1), dtype=dtype),
+            )
         block = np.array([[0, -1, 1]], dtype=np.int32)
         flags = np.zeros(1, dtype=np.bool_)
         containment_sweep(
@@ -333,14 +481,20 @@ def _reset_warmup_for_testing() -> None:
 
 __all__ = [
     "containment_sweep",
+    "derive_child_planes",
+    "derive_sibling_batch",
     "jit_compile_seconds",
     "kernels_warmed",
     "native_available",
     "native_unavailable_reason",
     "py_containment_sweep",
+    "py_derive_child_planes",
+    "py_derive_sibling_batch",
+    "py_replay_plane_chain",
     "py_rows_in_sorted",
     "py_symbol_window_maxima",
     "py_window_group_maxima",
+    "replay_plane_chain",
     "rows_in_sorted",
     "symbol_window_maxima",
     "warm_kernels",

@@ -15,7 +15,8 @@ three interchangeable backends —
 * :class:`~repro.engine.resident.ResidentSampleEvaluator`
   (``"resident"``) — pins one memory-resident database (Phase 2's
   sample) and evaluates candidates incrementally from their parents'
-  cached score planes;
+  cached score planes, through compiled incremental-plane kernels when
+  numba is available;
 * :class:`~repro.engine.native.NativeEngine` (``"native"``) — numba
   JIT-compiled fused window-scoring kernels (optional dependency;
   fails loudly without numba unless graceful fallback is requested)
@@ -75,8 +76,12 @@ from .shards import (
 from .resident import (
     PlaneStore,
     RESIDENT_ENV_VAR,
+    RESIDENT_KERNEL_MODES,
+    RESIDENT_KERNELS_ENV_VAR,
     ResidentSampleEvaluator,
     resident_from_env,
+    resident_kernels_from_env,
+    sibling_order,
 )
 from .vectorized import FactorCache, VectorizedBatchEngine
 
@@ -100,6 +105,8 @@ __all__ = [
     "ParallelEngine",
     "PlaneStore",
     "RESIDENT_ENV_VAR",
+    "RESIDENT_KERNELS_ENV_VAR",
+    "RESIDENT_KERNEL_MODES",
     "ReferenceEngine",
     "ResidentSampleEvaluator",
     "SCORE_DTYPES",
@@ -124,9 +131,11 @@ __all__ = [
     "native_unavailable_reason",
     "register_engine",
     "resident_from_env",
+    "resident_kernels_from_env",
     "resolve_engine_name",
     "resolve_oversplit",
     "resolve_score_dtype",
     "resolve_worker_count",
     "scatter_gather",
+    "sibling_order",
 ]

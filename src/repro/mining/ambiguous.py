@@ -46,6 +46,7 @@ from ..engine import (
     EngineSpec,
     ResidentSampleEvaluator,
     resident_from_env,
+    sibling_order,
 )
 from ..obs import (
     CANDIDATES_GENERATED,
@@ -244,6 +245,13 @@ def classify_on_sample(
                 epsilons[pattern] = 0.0
             else:
                 countable.append(pattern)
+        if isinstance(engine, ResidentSampleEvaluator):
+            # Hand the level over in sibling order: same-parent groups
+            # stay contiguous, so a memory budget splitting the batch
+            # cuts through at most one sibling group per scan boundary
+            # and each parent plane is derived once.  Per-pattern match
+            # values are order-independent, so labels are unchanged.
+            countable = sibling_order(countable)
         matches = count_matches_batched(
             countable, sample, matrix, engine=engine, tracer=tracer,
             scan_counter=SAMPLE_SCANS,

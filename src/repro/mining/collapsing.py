@@ -37,7 +37,12 @@ from ..core.compatibility import CompatibilityMatrix
 from ..core.latticekernels import filter_undecided, use_kernels
 from ..core.pattern import Pattern
 from ..core.sequence import AnySequenceDatabase
-from ..engine import EngineSpec
+from ..engine import (
+    EngineSpec,
+    ResidentSampleEvaluator,
+    get_engine,
+    sibling_order,
+)
 from ..obs import (
     AMBIGUOUS_REMAINING,
     PROBE_ROUNDS,
@@ -170,6 +175,12 @@ def collapse_borders(
     validate_memory_capacity(memory_capacity)
     tracer = ensure_tracer(tracer)
     kernels = use_kernels(lattice)
+    engine = get_engine(engine)
+    # A resident engine (a caller probing a memory-resident database)
+    # wants same-parent siblings adjacent: the probe *selection* is
+    # unchanged, only the within-round counting order, so probe rounds,
+    # scans and labels are identical.
+    resident_probes = isinstance(engine, ResidentSampleEvaluator)
     decided_frequent = classification.fqt.copy(tracer=tracer)
     minimal_infrequent: Set[Pattern] = set()
     undecided: Set[Pattern] = {
@@ -188,7 +199,8 @@ def collapse_borders(
         batch = select_probe_batch(undecided, floor_weight, memory_capacity)
         probe_rounds.append(batch)
         with tracer.phase(f"probe-round-{len(probe_rounds)}"):
-            matches = count_matches_batched(batch, database, matrix,
+            probes = sibling_order(batch) if resident_probes else batch
+            matches = count_matches_batched(probes, database, matrix,
                                             engine=engine, tracer=tracer)
             scans += 1
             tracer.count(PROBE_ROUNDS, 1)

@@ -67,6 +67,7 @@ SHARD_IO_BYTES = "shard_io_bytes"
 RESIDENT_PLANE_HITS = "resident_plane_hits"
 RESIDENT_PLANE_MISSES = "resident_plane_misses"
 RESIDENT_PLANE_BYTES = "resident_plane_bytes"
+RESIDENT_NATIVE_CALLS = "resident_native_calls"
 IO_BYTES_READ = "io_bytes_read"
 IO_CHUNKS = "io_chunks"
 IO_CHUNK_SECONDS = "io_chunk_seconds"

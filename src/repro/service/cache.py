@@ -136,6 +136,21 @@ class StoreEntry:
         job on an unchanged sample does not increment this."""
         return self._resident.repins if self._resident is not None else 0
 
+    def resident_stats(self) -> Optional[Dict[str, int]]:
+        """Warm-state counters of the entry's Phase-2 evaluator, or
+        ``None`` when no resident job has touched this store yet."""
+        resident = self._resident
+        if resident is None:
+            return None
+        return {
+            "plane_hits": resident.planes.hits,
+            "plane_misses": resident.planes.misses,
+            "plane_bytes": resident.planes.nbytes,
+            "resident_native_calls": resident.native_calls,
+            "repins": resident.repins,
+            "compiled": resident.compiled,
+        }
+
     # -- pinning --------------------------------------------------------------
 
     @property
@@ -332,6 +347,39 @@ class StoreCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
             }
+
+    def resident_stats(self) -> Dict[str, object]:
+        """Aggregate resident warm-state across every open store.
+
+        Sums the plane-store traffic and compiled-kernel call counts of
+        each entry's warm evaluator; ``evaluators`` counts the entries
+        a resident job has actually touched and ``compiled`` is true
+        when any of them dispatches to the JIT kernels — the daemon's
+        ``/healthz`` surfaces this next to the ``native_kernels`` block.
+        """
+        with self._lock:
+            per_entry = [
+                stats
+                for e in self._entries.values()
+                if (stats := e.resident_stats()) is not None
+            ]
+        aggregate: Dict[str, object] = {
+            "evaluators": len(per_entry),
+            "plane_hits": 0,
+            "plane_misses": 0,
+            "plane_bytes": 0,
+            "resident_native_calls": 0,
+            "repins": 0,
+            "compiled": False,
+        }
+        for stats in per_entry:
+            for key in (
+                "plane_hits", "plane_misses", "plane_bytes",
+                "resident_native_calls", "repins",
+            ):
+                aggregate[key] += stats[key]
+            aggregate["compiled"] = aggregate["compiled"] or stats["compiled"]
+        return aggregate
 
     def close(self) -> None:
         """Close every cached store (daemon shutdown).

@@ -455,6 +455,7 @@ class MiningService:
                 "warmed": _nativekernels.kernels_warmed(),
                 "jit_warm_seconds": self.jit_warm_seconds,
             },
+            "resident_planes": self.stores.resident_stats(),
         }
 
     # -- lifecycle ------------------------------------------------------------

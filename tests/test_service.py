@@ -95,6 +95,14 @@ class TestHTTPRoundTrip:
         assert health["status"] == "ok"
         assert health["workers"] >= 1
         assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
+        assert set(health["native_kernels"]) == {
+            "available", "warmed", "jit_warm_seconds",
+        }
+        planes = health["resident_planes"]
+        assert set(planes) == {
+            "evaluators", "plane_hits", "plane_misses", "plane_bytes",
+            "resident_native_calls", "repins", "compiled",
+        }
 
     def test_submit_poll_result_matches_cli(self, client, store_path,
                                             capsys):
@@ -252,6 +260,19 @@ class TestWarmState:
                            store=str(store_path))
             service._queue.join()
             assert entry.resident_repins == repins_after_first
+            # The warm evaluator's state surfaces through /healthz:
+            # plane traffic from the two jobs, plus whether this
+            # process dispatched to the compiled kernels.
+            planes = service.healthz()["resident_planes"]
+            assert planes["evaluators"] == 1
+            assert planes["plane_misses"] > 0
+            assert planes["repins"] == repins_after_first
+            from repro.engine import native_available
+            assert planes["compiled"] is native_available
+            if native_available:
+                assert planes["resident_native_calls"] > 0
+            else:
+                assert planes["resident_native_calls"] == 0
 
     def test_concurrent_jobs_do_not_cross_contaminate(
         self, store_path, other_store_path
